@@ -1,0 +1,46 @@
+package fairbench
+
+import (
+	"fairbench/internal/core"
+	"fairbench/internal/report"
+)
+
+// Re-exported checklist types (§5: "reviewers consider these principles
+// when reviewing papers").
+type (
+	// EvaluationDesign describes an evaluation for auditing.
+	EvaluationDesign = core.EvaluationDesign
+	// DesignSystem is one system's cost reporting in a design.
+	DesignSystem = core.DesignSystem
+	// IdealScalingUse describes how ideal scaling was applied.
+	IdealScalingUse = core.IdealScalingUse
+	// Finding is one checklist result.
+	Finding = core.Finding
+	// Severity grades a finding.
+	Severity = core.Severity
+)
+
+// Checklist severities.
+const (
+	Pass      = core.Pass
+	Warning   = core.Warning
+	Violation = core.Violation
+)
+
+// Audit checks an evaluation design against the paper's seven
+// principles; see core.Audit.
+func Audit(d EvaluationDesign) []Finding { return core.Audit(d) }
+
+// AuditReport renders audit findings as a table, worst first.
+func AuditReport(findings []Finding) string {
+	t := report.NewTable("Evaluation checklist (the paper's seven principles)",
+		"Severity", "Principle", "Detail")
+	for _, sev := range []Severity{Violation, Warning, Pass} {
+		for _, f := range findings {
+			if f.Severity == sev {
+				t.AddRow(f.Severity.String(), f.Principle.String(), f.Detail)
+			}
+		}
+	}
+	return t.Text()
+}

@@ -1,0 +1,121 @@
+package fairbench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fairbench/internal/cost"
+	"fairbench/internal/metric"
+)
+
+// AuditSpec is the JSON form of an EvaluationDesign, for the fairbench
+// command's -audit mode. Metrics are referenced by their standard
+// registry names; component costs are given as {"metric": value} in the
+// metric's preferred unit.
+type AuditSpec struct {
+	// CostMetrics and PerfMetrics name metrics from the standard
+	// registry (e.g. "power", "tco", "cpu-cores", "throughput-bps").
+	CostMetrics []string `json:"cost_metrics"`
+	PerfMetrics []string `json:"perf_metrics,omitempty"`
+	// Systems describe each compared system.
+	Systems []AuditSystem `json:"systems"`
+	// ClaimsAcrossRegimes marks single-dimension claims between
+	// systems in different regimes.
+	ClaimsAcrossRegimes bool `json:"claims_across_regimes,omitempty"`
+	// IdealScaling describes any ideal-scaling argument.
+	IdealScaling *AuditScaling `json:"ideal_scaling,omitempty"`
+}
+
+// AuditSystem is one system in an AuditSpec.
+type AuditSystem struct {
+	Name string `json:"name"`
+	// Components map component name → {metric name → value}.
+	Components map[string]map[string]float64 `json:"components"`
+	// Scalable marks horizontally scalable systems.
+	Scalable bool `json:"scalable,omitempty"`
+	// UtilizedFraction is the fraction of costed hardware in use.
+	UtilizedFraction float64 `json:"utilized_fraction,omitempty"`
+}
+
+// AuditScaling is the JSON form of IdealScalingUse.
+type AuditScaling struct {
+	ScaledSystem   string `json:"scaled_system"`
+	ProposedSystem string `json:"proposed_system"`
+	// PerfMetric names the scaled performance metric (its Scalable
+	// trait is looked up in the registry).
+	PerfMetric string `json:"perf_metric"`
+}
+
+// ParseAuditSpec decodes and resolves an audit spec against the
+// standard metric registry.
+func ParseAuditSpec(data []byte) (EvaluationDesign, error) {
+	var spec AuditSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return EvaluationDesign{}, fmt.Errorf("fairbench: parsing audit spec: %w", err)
+	}
+	return spec.Resolve(metric.Standard())
+}
+
+// Resolve converts the spec into an EvaluationDesign using registry r.
+func (s AuditSpec) Resolve(r *metric.Registry) (EvaluationDesign, error) {
+	var d EvaluationDesign
+	lookup := func(name string) (metric.Descriptor, error) {
+		desc, ok := r.Lookup(name)
+		if !ok {
+			return metric.Descriptor{}, fmt.Errorf("fairbench: unknown metric %q (see the standard registry names)", name)
+		}
+		return desc, nil
+	}
+	for _, n := range s.CostMetrics {
+		desc, err := lookup(n)
+		if err != nil {
+			return d, err
+		}
+		d.CostMetrics = append(d.CostMetrics, desc)
+	}
+	for _, n := range s.PerfMetrics {
+		desc, err := lookup(n)
+		if err != nil {
+			return d, err
+		}
+		d.PerfMetrics = append(d.PerfMetrics, desc)
+	}
+	if len(s.Systems) == 0 {
+		return d, fmt.Errorf("fairbench: audit spec needs systems")
+	}
+	for _, sys := range s.Systems {
+		if sys.Name == "" {
+			return d, fmt.Errorf("fairbench: audit system needs a name")
+		}
+		ds := DesignSystem{Name: sys.Name, Scalable: sys.Scalable, UtilizedFraction: sys.UtilizedFraction}
+		for compName, costs := range sys.Components {
+			comp := cost.Component{Name: compName, Costs: cost.Vector{}}
+			for mName, value := range costs {
+				desc, err := lookup(mName)
+				if err != nil {
+					return d, err
+				}
+				comp.Costs[mName] = metric.Q(value, desc.Unit)
+			}
+			ds.Components = append(ds.Components, comp)
+		}
+		d.Systems = append(d.Systems, ds)
+	}
+	d.ClaimsAcrossRegimes = s.ClaimsAcrossRegimes
+	if s.IdealScaling != nil {
+		u := IdealScalingUse{
+			ScaledSystem:   s.IdealScaling.ScaledSystem,
+			ProposedSystem: s.IdealScaling.ProposedSystem,
+			MetricScalable: true,
+		}
+		if s.IdealScaling.PerfMetric != "" {
+			desc, err := lookup(s.IdealScaling.PerfMetric)
+			if err != nil {
+				return d, err
+			}
+			u.MetricScalable = desc.Scalable
+		}
+		d.IdealScaling = &u
+	}
+	return d, nil
+}

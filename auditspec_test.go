@@ -1,0 +1,105 @@
+package fairbench
+
+import (
+	"strings"
+	"testing"
+)
+
+const auditSpecJSON = `{
+  "cost_metrics": ["cpu-cores", "power"],
+  "perf_metrics": ["throughput-bps"],
+  "systems": [
+    {"name": "cpu-only", "scalable": true,
+     "components": {"host": {"cpu-cores": 8, "power": 100}}},
+    {"name": "cpu+fpga", "scalable": true,
+     "components": {
+       "host": {"cpu-cores": 4, "power": 60},
+       "fpga": {"power": 45, "fpga-luts": 180000}}}
+  ],
+  "ideal_scaling": {
+    "scaled_system": "cpu-only",
+    "proposed_system": "cpu+fpga",
+    "perf_metric": "throughput-bps"
+  }
+}`
+
+func TestParseAuditSpec(t *testing.T) {
+	design, err := ParseAuditSpec([]byte(auditSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(design.CostMetrics) != 2 || len(design.Systems) != 2 {
+		t.Fatalf("design = %+v", design)
+	}
+	findings := Audit(design)
+	// The cores metric fails end-to-end coverage on the FPGA system;
+	// power passes everywhere.
+	var coresViolations, powerViolations int
+	for _, f := range findings {
+		if f.Severity != Violation {
+			continue
+		}
+		if strings.Contains(f.Detail, "cpu-cores") {
+			coresViolations++
+		}
+		if strings.Contains(f.Detail, "power") && !strings.Contains(f.Detail, "cpu-cores") {
+			powerViolations++
+		}
+	}
+	if coresViolations == 0 {
+		t.Error("cores should be flagged for P3 coverage")
+	}
+	if powerViolations != 0 {
+		t.Error("power should not be flagged")
+	}
+	rep := AuditReport(findings)
+	if !strings.Contains(rep, "violation") || !strings.Contains(rep, "Principle 3") {
+		t.Errorf("audit report:\n%s", rep)
+	}
+	// Violations render before passes.
+	if strings.Index(rep, "violation") > strings.Index(rep, "pass ") {
+		t.Error("report should order worst-first")
+	}
+}
+
+func TestParseAuditSpecErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"cost_metrics": ["no-such-metric"], "systems": [{"name":"a","components":{}}]}`,
+		`{"cost_metrics": ["power"], "systems": []}`,
+		`{"cost_metrics": ["power"], "systems": [{"name":"","components":{}}]}`,
+		`{"cost_metrics": ["power"], "systems": [{"name":"a","components":{"h":{"bogus":1}}}]}`,
+		`{"cost_metrics": ["power"], "systems": [{"name":"a","components":{}}], "ideal_scaling": {"scaled_system":"a","proposed_system":"b","perf_metric":"bogus"}}`,
+	}
+	for _, c := range cases {
+		if _, err := ParseAuditSpec([]byte(c)); err == nil {
+			t.Errorf("spec should fail: %s", c)
+		}
+	}
+}
+
+func TestAuditSpecLatencyScalingFlagged(t *testing.T) {
+	design, err := ParseAuditSpec([]byte(`{
+	  "cost_metrics": ["power"],
+	  "systems": [
+	    {"name": "base", "scalable": true, "components": {"host": {"power": 100}}},
+	    {"name": "prop", "scalable": true, "components": {"host": {"power": 200}}}
+	  ],
+	  "ideal_scaling": {
+	    "scaled_system": "base", "proposed_system": "prop", "perf_metric": "latency"
+	  }
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Audit(design)
+	found := false
+	for _, f := range findings {
+		if f.Severity == Violation && strings.Contains(f.Detail, "does not scale") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("latency scaling should be flagged: %v", findings)
+	}
+}

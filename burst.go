@@ -1,0 +1,118 @@
+package fairbench
+
+import (
+	"fmt"
+
+	"fairbench/internal/report"
+	"fairbench/internal/rfc2544"
+	"fairbench/internal/testbed"
+	"fairbench/internal/workload"
+)
+
+// Burst-sensitivity experiment (extension): RFC 2544's constant-rate
+// offered load hides how systems behave under bursty arrivals. This
+// experiment measures loss and tail latency at 70% of each system's
+// zero-loss throughput under three arrival processes of identical mean
+// rate — constant, Poisson, and two-state on/off bursts — for the
+// baseline and SmartNIC firewalls. Accelerated fast paths with shallow
+// buffers can look great at constant rate and degrade under bursts;
+// reporting both is part of a fair evaluation.
+
+// BurstPoint is one (system, arrival process) measurement.
+type BurstPoint struct {
+	System       string
+	Arrival      string
+	OfferedPps   float64
+	LossFraction float64
+	LatencyP99Us float64
+}
+
+// BurstResult is the experiment outcome.
+type BurstResult struct {
+	Points []BurstPoint
+}
+
+// RunBurstSensitivity measures both systems under all three processes.
+func RunBurstSensitivity(o ExpOptions) (BurstResult, error) {
+	o = o.withDefaults()
+	gen := func() (*workload.Generator, error) { return testbed.E6Workload(o.Seed) }
+	systems := []struct {
+		name   string
+		mk     rfc2544.DUTFactory
+		maxPps float64
+	}{
+		{"fw-host-1core", func() (*testbed.Deployment, error) { return testbed.BaselineFirewall(1) }, 16e6},
+		{"fw-smartnic", func() (*testbed.Deployment, error) { return testbed.SmartNICFirewall() }, 24e6},
+	}
+	arrivals := func() []workload.Arrival {
+		return []workload.Arrival{workload.CBR{}, workload.Poisson{}, &workload.OnOff{}}
+	}
+
+	var res BurstResult
+	for _, sys := range systems {
+		cap, err := rfc2544.Throughput(sys.mk, gen, o.searchOpts(sys.maxPps))
+		if err != nil {
+			return res, fmt.Errorf("burst: measuring %s capacity: %w", sys.name, err)
+		}
+		if cap.Pps == 0 {
+			return res, fmt.Errorf("burst: %s has no sustainable rate", sys.name)
+		}
+		load := cap.Pps * 0.7
+		for _, arr := range arrivals() {
+			d, err := sys.mk()
+			if err != nil {
+				return res, err
+			}
+			g, err := gen()
+			if err != nil {
+				return res, err
+			}
+			r, err := d.Run(g, arr, load, o.TrialSeconds)
+			if err != nil {
+				return res, err
+			}
+			res.Points = append(res.Points, BurstPoint{
+				System:       sys.name,
+				Arrival:      arr.Name(),
+				OfferedPps:   load,
+				LossFraction: r.LossFraction,
+				LatencyP99Us: r.LatencyP99Us,
+			})
+		}
+	}
+	return res, nil
+}
+
+// BurstReport renders the experiment.
+func BurstReport(r BurstResult) string {
+	t := report.NewTable("Burst sensitivity at 70% load: arrival process vs loss and tail latency",
+		"System", "Arrivals", "Offered (Mpps)", "Loss", "p99 (µs)")
+	for _, p := range r.Points {
+		t.AddRowf("%s|%s|%.2f|%.4f%%|%.2f",
+			p.System, p.Arrival, p.OfferedPps/1e6, p.LossFraction*100, p.LatencyP99Us)
+	}
+	return t.Text()
+}
+
+// BurstLatencyChart renders p99 latency per arrival process.
+func BurstLatencyChart(r BurstResult) *report.LineChart {
+	bySystem := map[string][]report.XY{}
+	var order []string
+	for _, p := range r.Points {
+		if _, ok := bySystem[p.System]; !ok {
+			order = append(order, p.System)
+		}
+		bySystem[p.System] = append(bySystem[p.System], report.XY{
+			X: float64(len(bySystem[p.System])), Y: p.LatencyP99Us,
+		})
+	}
+	c := &report.LineChart{
+		Title:  "p99 latency by arrival process (0=CBR, 1=Poisson, 2=on/off)",
+		XLabel: "Arrival process",
+		YLabel: "p99 latency (µs)",
+	}
+	for _, name := range order {
+		c.Series = append(c.Series, report.Series{Name: name, Points: bySystem[name]})
+	}
+	return c
+}

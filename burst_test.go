@@ -1,0 +1,75 @@
+package fairbench
+
+import (
+	"strings"
+	"testing"
+
+	"fairbench/internal/rfc2544"
+)
+
+func TestRunBurstSensitivity(t *testing.T) {
+	res, err := RunBurstSensitivity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 { // 2 systems × 3 arrival processes
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	byKey := map[string]BurstPoint{}
+	for _, p := range res.Points {
+		byKey[p.System+"/"+p.Arrival] = p
+	}
+	for _, sys := range []string{"fw-host-1core", "fw-smartnic"} {
+		cbr, ok1 := byKey[sys+"/cbr"]
+		onoff, ok2 := byKey[sys+"/onoff-20%-2.0ms"]
+		if !ok1 || !ok2 {
+			t.Fatalf("missing points for %s: %v", sys, byKey)
+		}
+		// Bursty arrivals at the same mean load must not improve tail
+		// latency, and generally worsen it substantially.
+		if onoff.LatencyP99Us < cbr.LatencyP99Us {
+			t.Errorf("%s: on/off p99 (%v) below CBR p99 (%v)", sys, onoff.LatencyP99Us, cbr.LatencyP99Us)
+		}
+		// CBR at 70%% load is loss-free.
+		if cbr.LossFraction > 0.001 {
+			t.Errorf("%s: CBR loss = %v", sys, cbr.LossFraction)
+		}
+	}
+
+	rep := BurstReport(res)
+	for _, frag := range []string{"Burst sensitivity", "cbr", "poisson", "onoff"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep)
+		}
+	}
+	svg := BurstLatencyChart(res).SVG()
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("chart series = %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestRFC2544Charts(t *testing.T) {
+	// Synthetic series — render-only.
+	e := RFC2544Result{}
+	e.LossCurve = append(e.LossCurve,
+		lossPoint(1e6, 0), lossPoint(4e6, 0.2), lossPoint(8e6, 0.6))
+	e.Latency = append(e.Latency,
+		latPoint(0.5, 4, 5), latPoint(1.0, 90, 160))
+	loss := RFC2544LossChart(e).SVG()
+	if !strings.Contains(loss, "frame-loss") {
+		t.Error("loss chart missing title")
+	}
+	lat := RFC2544LatencyChart(e).SVG()
+	if strings.Count(lat, "<polyline") != 2 {
+		t.Error("latency chart should have p50 and p99 series")
+	}
+}
+
+// lossPoint and latPoint build synthetic RFC 2544 series entries.
+func lossPoint(pps, frac float64) rfc2544.LossPoint {
+	return rfc2544.LossPoint{OfferedPps: pps, LossFraction: frac}
+}
+
+func latPoint(load, p50, p99 float64) rfc2544.LatencyPoint {
+	return rfc2544.LatencyPoint{LoadFraction: load, P50Us: p50, P99Us: p99}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExample(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-example"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"fw-smartnic", "proposed-superior", "Principle 6"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-example", "-json"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Proposed string `json:"proposed"`
+		Verdicts []struct {
+			Conclusion string `json:"conclusion"`
+		} `json:"verdicts"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if parsed.Proposed != "fw-smartnic" || len(parsed.Verdicts) != 2 {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	spec := `{
+	  "plane": "latency-power",
+	  "proposed": {"name": "a", "perf": 5, "cost": 100},
+	  "baselines": [{"name": "b", "perf": 10, "cost": 300}]
+	}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "proposed-superior") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	spec := `{
+	  "proposed": {"name": "a", "perf": 20, "cost": 70, "scalable": true},
+	  "baselines": [{"name": "b", "perf": 10, "cost": 50, "scalable": true}]
+	}`
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(spec), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Comparison: a") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunBadSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("{nope"), &out); err == nil {
+		t.Error("bad spec should fail")
+	}
+	if err := run([]string{"/does/not/exist.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRunAuditMode(t *testing.T) {
+	spec := `{
+	  "cost_metrics": ["tco"],
+	  "systems": [{"name": "sys", "components": {"host": {"tco": 10000}}}]
+	}`
+	var out bytes.Buffer
+	if err := run([]string{"-audit"}, strings.NewReader(spec), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "violation") || !strings.Contains(got, "Principle 1") {
+		t.Errorf("audit output:\n%s", got)
+	}
+}

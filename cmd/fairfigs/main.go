@@ -1,0 +1,66 @@
+// Command fairfigs regenerates every table and figure of the paper —
+// Table 1, Figures 1-3, the three worked examples (§4.2, §4.2.1, §4.3),
+// the pitfall demonstrations, the RFC 2544 measurement suite, and the
+// §3.1 pricing-model release — into an output directory.
+//
+// Usage:
+//
+//	fairfigs [-out DIR] [-trial SECONDS] [-seed N] [-quick]
+//
+// Outputs are deterministic for a given seed and trial length, so the
+// directory is diffable across runs and machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fairbench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fairfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fairfigs", flag.ContinueOnError)
+	outDir := fs.String("out", "figures", "output directory")
+	trial := fs.Float64("trial", 0.02, "simulated seconds per measurement trial")
+	seed := fs.Uint64("seed", 1, "random seed")
+	quick := fs.Bool("quick", false, "reduced fidelity (shorter trials, coarser search)")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := fairbench.ExpOptions{TrialSeconds: *trial, Seed: *seed}
+	if *quick {
+		opts = fairbench.Quick()
+		opts.Seed = *seed
+	}
+
+	start := time.Now()
+	artifacts, err := fairbench.RenderAll(opts)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for _, a := range artifacts {
+		path := filepath.Join(*outDir, a.Name)
+		if err := os.WriteFile(path, a.Body, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d bytes)\n", path, len(a.Body))
+	}
+	fmt.Fprintf(stdout, "%d artifacts in %v\n", len(artifacts), time.Since(start).Round(time.Millisecond))
+	return nil
+}

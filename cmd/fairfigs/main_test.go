@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickGeneratesAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration is slow")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-out", dir, "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"table1.txt", "table1.md", "table1.csv", "scorecard.txt",
+		"figure1a.svg", "figure1b.svg", "figure1.txt",
+		"figure2.svg", "figure2.csv", "figure2.txt", "figure3.svg",
+		"example-smartnic.txt", "example-switch.txt", "example-latency.txt",
+		"pitfalls.txt", "rfc2544.txt", "rfc2544-loss.csv",
+		"rfc2544-latency.csv", "rfc2544-loss.svg", "rfc2544-latency.svg",
+		"burst.txt", "burst-latency.svg", "ablation-stateful.txt",
+		"operating-curves.txt", "operating-curves.csv", "sensitivity.txt",
+		"frontier.txt", "frontier.svg", "pricing-release.json",
+	}
+	for _, name := range want {
+		path := filepath.Join(dir, name)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+	if !strings.Contains(out.String(), "artifacts in") {
+		t.Errorf("summary line missing:\n%s", out.String())
+	}
+}
+
+func TestRunBadOutputDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline before failing on the directory")
+	}
+	var out bytes.Buffer
+	// A file path where a directory is required.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", f, "-quick"}, &out); err == nil {
+		t.Error("output path collision should fail")
+	}
+}

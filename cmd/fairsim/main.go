@@ -1,0 +1,198 @@
+// Command fairsim runs one simulated heterogeneous deployment under a
+// configurable workload and prints its measured operating point —
+// throughput, latency, loss, fairness and composed power. It is the
+// "run one testbed experiment" tool; fairfigs orchestrates full
+// reproductions.
+//
+// Usage:
+//
+//	fairsim -system {host|smartnic|switch|fpga} [-cores N] [-pps RATE]
+//	        [-seconds S] [-attack FRAC] [-poisson] [-seed N] [-search]
+//	        [-impair-drop P] [-impair-corrupt P] [-impair-dup P]
+//	        [-record FILE -count N] [-replay FILE -stretch X]
+//
+// With -search, an RFC 2544 binary search for the zero-loss throughput
+// replaces the single fixed-rate run. The -impair-* flags inject
+// ingress faults; -record captures a trace and -replay runs one through
+// the deployment at its recorded (optionally stretched) timestamps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fairbench/internal/hw"
+	"fairbench/internal/report"
+	"fairbench/internal/rfc2544"
+	"fairbench/internal/testbed"
+	"fairbench/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fairsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fairsim", flag.ContinueOnError)
+	system := fs.String("system", "host", "deployment: host, smartnic, switch, or fpga")
+	cores := fs.Int("cores", 1, "host dataplane cores (host and switch systems)")
+	pps := fs.Float64("pps", 2e6, "offered load in packets per second")
+	seconds := fs.Float64("seconds", 0.05, "simulated duration per run")
+	attack := fs.Float64("attack", 0.2, "fraction of traffic from the blocklisted prefix")
+	flows := fs.Int("flows", 1024, "number of distinct flows")
+	poisson := fs.Bool("poisson", false, "Poisson arrivals instead of constant rate")
+	seed := fs.Uint64("seed", 1, "random seed (determinism: same seed, same results)")
+	search := fs.Bool("search", false, "RFC 2544 throughput search instead of a fixed-rate run")
+	dropProb := fs.Float64("impair-drop", 0, "ingress drop probability (failure injection)")
+	corruptProb := fs.Float64("impair-corrupt", 0, "ingress byte-corruption probability")
+	dupProb := fs.Float64("impair-dup", 0, "ingress duplication probability")
+	record := fs.String("record", "", "record a trace of the workload to this file and exit")
+	count := fs.Int("count", 10000, "packets to record with -record")
+	replay := fs.String("replay", "", "replay a recorded trace through the deployment instead of generating traffic")
+	stretch := fs.Float64("stretch", 1, "timestamp scale for -replay (0.5 = twice as fast)")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mkDeployment := func() (*testbed.Deployment, error) {
+		switch *system {
+		case "host":
+			return testbed.BaselineFirewall(*cores)
+		case "smartnic":
+			return testbed.SmartNICFirewall()
+		case "switch":
+			return testbed.SwitchFirewall(*cores)
+		case "fpga":
+			return testbed.FPGAFirewall(hw.FPGAConfig{})
+		default:
+			return nil, fmt.Errorf("unknown system %q", *system)
+		}
+	}
+	mkGen := func() (*workload.Generator, error) {
+		return workload.NewGenerator(workload.Spec{
+			Flows:          *flows,
+			AttackFraction: *attack,
+			Seed:           *seed,
+		})
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err := mkGen()
+		if err != nil {
+			return err
+		}
+		var arrival workload.Arrival = workload.CBR{}
+		if *poisson {
+			arrival = workload.Poisson{}
+		}
+		if err := workload.Record(f, g, arrival, *pps, *count); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "recorded %d packets at %.2f Mpps to %s\n", *count, *pps/1e6, *record)
+		return nil
+	}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := workload.NewTraceReader(f)
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		d, err := mkDeployment()
+		if err != nil {
+			return err
+		}
+		res, err := d.RunTrace(tr, *stretch)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "replayed %d packets (stretch %.2f)\n", tr.Count(), *stretch)
+		printResult(stdout, res)
+		return nil
+	}
+
+	if *search {
+		res, err := rfc2544.Throughput(mkDeployment, mkGen, rfc2544.Opts{TrialSeconds: *seconds})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "RFC 2544 zero-loss throughput: %.3f Mpps (%.2f Gb/s) over %d trials\n",
+			res.Pps/1e6, res.Gbps, len(res.Trials))
+		printResult(stdout, res.Passing)
+		return nil
+	}
+
+	d, err := mkDeployment()
+	if err != nil {
+		return err
+	}
+	g, err := mkGen()
+	if err != nil {
+		return err
+	}
+	var arrival workload.Arrival = workload.CBR{}
+	if *poisson {
+		arrival = workload.Poisson{}
+	}
+	im := testbed.Impairments{DropProb: *dropProb, CorruptProb: *corruptProb, DupProb: *dupProb}
+	res, stats, err := d.RunWithImpairments(g, arrival, *pps, *seconds, im)
+	if err != nil {
+		return err
+	}
+	if stats != (testbed.ImpairStats{}) {
+		fmt.Fprintf(stdout, "impairments injected: %d dropped, %d corrupted, %d duplicated\n",
+			stats.Dropped, stats.Corrupted, stats.Duplicated)
+	}
+	printResult(stdout, res)
+	return nil
+}
+
+func printResult(w io.Writer, res testbed.Result) {
+	t := report.NewTable(fmt.Sprintf("%s (%v simulated)", res.Name, res.Duration), "Metric", "Value")
+	t.AddRowf("offered|%s", res.Offered)
+	t.AddRowf("processed|%s", res.Processed)
+	t.AddRowf("forwarded|%s", res.Forwarded)
+	t.AddRowf("loss|%.4f%%", res.LossFraction*100)
+	t.AddRowf("latency p50|%.2f µs", res.LatencyP50Us)
+	t.AddRowf("latency p99|%.2f µs", res.LatencyP99Us)
+	t.AddRowf("Jain fairness index|%.4f", res.JFI)
+	t.AddRowf("power (provisioned)|%.1f W", res.ProvisionedPowerWatts)
+	t.AddRowf("power (average)|%.1f W", res.AvgPowerWatts)
+	fmt.Fprint(w, t.Text())
+	if len(res.PerDeviceAvgWatts) > 0 {
+		dt := report.NewTable("Per-device average power", "Device", "Watts")
+		for _, name := range sortedKeys(res.PerDeviceAvgWatts) {
+			dt.AddRowf("%s|%.2f", name, res.PerDeviceAvgWatts[name])
+		}
+		fmt.Fprint(w, "\n"+dt.Text())
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

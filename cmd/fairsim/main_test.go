@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunHost(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-system", "host", "-pps", "1e6", "-seconds", "0.005"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"fw-host-1core", "processed", "power (provisioned)", "50.0 W", "Per-device"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunAllSystems(t *testing.T) {
+	for _, sys := range []string{"smartnic", "switch", "fpga"} {
+		var out bytes.Buffer
+		err := run([]string{"-system", sys, "-pps", "1e6", "-seconds", "0.003"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if !strings.Contains(out.String(), "Jain fairness index") {
+			t.Errorf("%s output incomplete:\n%s", sys, out.String())
+		}
+	}
+}
+
+func TestRunPoissonAndCores(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-cores", "2", "-poisson", "-pps", "2e6", "-seconds", "0.003"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fw-host-2core") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunSearch(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-search", "-seconds", "0.004"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "RFC 2544 zero-loss throughput") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownSystem(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "quantum"}, &out); err == nil {
+		t.Error("unknown system should fail")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[string]float64{"c": 1, "a": 2, "b": 3})
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("sortedKeys = %v", got)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "flow.fbtrace")
+	var out bytes.Buffer
+	if err := run([]string{"-record", trace, "-count", "3000", "-pps", "1e6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recorded 3000 packets") {
+		t.Errorf("record output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-replay", trace, "-system", "host"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "replayed 3000 packets") || !strings.Contains(got, "processed") {
+		t.Errorf("replay output:\n%s", got)
+	}
+	// An accelerated replay overloads the single core.
+	out.Reset()
+	if err := run([]string{"-replay", trace, "-stretch", "0.2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stretch 0.20") {
+		t.Errorf("stretch output:\n%s", out.String())
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-replay", "/no/such/trace"}, &out); err == nil {
+		t.Error("missing trace should fail")
+	}
+}
+
+func TestRunWithImpairmentFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-pps", "1e6", "-seconds", "0.005", "-impair-drop", "0.2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "impairments injected") {
+		t.Errorf("impairment summary missing:\n%s", got)
+	}
+	if !strings.Contains(got, "loss") {
+		t.Errorf("result table missing:\n%s", got)
+	}
+}
+
+func TestRunRejectsBadImpairment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-impair-drop", "2"}, &out); err == nil {
+		t.Error("probability > 1 should fail")
+	}
+}

@@ -1,0 +1,81 @@
+// audit-checklist demonstrates the §5 reviewer workflow: audit an
+// evaluation design against the paper's seven principles before
+// submission. The example audits a deliberately flawed design — TCO and
+// CPU cores as cost metrics over a CPU-vs-FPGA comparison, a cross-
+// regime "2x faster" claim, and ideal scaling applied to the proposed
+// system — and prints the findings.
+//
+//	go run ./examples/audit-checklist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairbench"
+	"fairbench/internal/cost"
+	"fairbench/internal/metric"
+)
+
+func main() {
+	r := metric.Standard()
+	design := fairbench.EvaluationDesign{
+		CostMetrics: []metric.Descriptor{
+			r.MustLookup(metric.MetricTCO),   // context-dependent
+			r.MustLookup(metric.MetricCores), // not end-to-end over FPGAs
+		},
+		PerfMetrics: []metric.Descriptor{r.MustLookup(metric.MetricThroughputBps)},
+		Systems: []fairbench.DesignSystem{
+			{
+				Name:     "cpu-baseline",
+				Scalable: true,
+				// Only half the costed server is used — pitfall 2.
+				UtilizedFraction: 0.5,
+				Components: []cost.Component{{
+					Name: "host",
+					Costs: cost.Vector{
+						metric.MetricTCO:   metric.Q(12000, metric.USD),
+						metric.MetricCores: metric.Q(8, metric.Core),
+					},
+				}},
+			},
+			{
+				Name:     "fpga-proposed",
+				Scalable: true,
+				Components: []cost.Component{
+					{Name: "host", Costs: cost.Vector{
+						metric.MetricTCO:   metric.Q(15000, metric.USD),
+						metric.MetricCores: metric.Q(2, metric.Core),
+					}},
+					{Name: "fpga", Costs: cost.Vector{
+						metric.MetricTCO:  metric.Q(4000, metric.USD),
+						metric.MetricLUTs: metric.Q(200000, metric.LUT),
+					}},
+				},
+			},
+		},
+		ClaimsAcrossRegimes: true, // "2x faster" with more hardware
+		IdealScaling: &fairbench.IdealScalingUse{
+			ScaledSystem:   "fpga-proposed", // pitfall 1: scaling the proposal
+			ProposedSystem: "fpga-proposed",
+			MetricScalable: true,
+		},
+	}
+
+	findings := fairbench.Audit(design)
+	fmt.Print(fairbench.AuditReport(findings))
+
+	violations := 0
+	for _, f := range findings {
+		if f.Severity == fairbench.Violation {
+			violations++
+		}
+	}
+	if violations == 0 {
+		log.Fatal("expected violations in the deliberately flawed design")
+	}
+	fmt.Printf("\n%d violations — this evaluation would not convince a reviewer.\n", violations)
+	fmt.Println("Fixes: report power (context-independent, end-to-end); compare at")
+	fmt.Println("the proposed system's comparison region; ideally scale only the")
+	fmt.Println("baseline, and only the fraction of hardware it actually uses.")
+}

@@ -1,0 +1,47 @@
+// design-sweep generalises the paper's two-system comparisons to a
+// whole design space: it measures six firewall deployments — CPU
+// scaling, SmartNIC offload, switch preprocessing, FPGA pipeline —
+// under one workload, computes the throughput/power Pareto frontier,
+// and explains why each dominated design loses. Optionally writes the
+// frontier scatter plot as SVG.
+//
+//	go run ./examples/design-sweep [-svg frontier.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fairbench"
+)
+
+func main() {
+	svgPath := flag.String("svg", "", "write the frontier SVG here (optional)")
+	trial := flag.Float64("trial", 0.008, "simulated seconds per measurement trial")
+	flag.Parse()
+
+	fmt.Println("Measuring six deployments under a common workload (RFC 2544")
+	fmt.Println("zero-loss throughput each; this takes a minute)...")
+	fmt.Println()
+
+	res, err := fairbench.RunFrontier(fairbench.ExpOptions{TrialSeconds: *trial, SearchResolution: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fairbench.FrontierReport(res))
+
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(fairbench.FrontierPlot(res).SVG()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+
+	fmt.Println()
+	fmt.Println("Only frontier systems are candidates for deployment; each dominated")
+	fmt.Println("design is accompanied by the verdict that disqualifies it. Note the")
+	fmt.Println("workload matters: under this mix (20% blocklisted traffic) the")
+	fmt.Println("switch's 90 W buys little — under the §4.2.1 mix (75%) it wins.")
+}

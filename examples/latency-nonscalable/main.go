@@ -1,0 +1,34 @@
+// latency-nonscalable reproduces the paper's §4.3 examples: comparing
+// systems in the latency/power plane, where the performance metric does
+// not scale and ideal scaling is therefore off the table (Principle 7).
+//
+//	go run ./examples/latency-nonscalable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fairbench"
+)
+
+func main() {
+	trial := flag.Float64("trial", 0.01, "simulated seconds per measurement trial")
+	flag.Parse()
+
+	fmt.Println("Simulating three deployments at a fixed 2 Mpps load and comparing")
+	fmt.Println("p99 latency against power (latency does not scale — Principle 7)...")
+	fmt.Println()
+
+	res, err := fairbench.RunLatency(fairbench.ExpOptions{TrialSeconds: *trial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fairbench.LatencyReport(res))
+	fmt.Println()
+	fmt.Println("Paper's shape: when the baseline is already in the proposed system's")
+	fmt.Println("comparison region (FPGA vs the big host) an objective claim is")
+	fmt.Println("possible; when it is not (FPGA vs the small, cheaper host), the")
+	fmt.Println("systems are fundamentally incomparable — report both points.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: evaluate the paper's §4.2 worked example with the public
+// API — no simulation, just the methodology applied to reported
+// numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairbench"
+)
+
+func main() {
+	// The numbers straight from the paper: a software firewall on one
+	// core does 10 Gb/s at 50 W; accelerated with a SmartNIC it does
+	// 20 Gb/s at 70 W.
+	proposed := fairbench.SystemPoint{Name: "fw-smartnic", Gbps: 20, Watts: 70, Scalable: true}
+	baseline := fairbench.SystemPoint{Name: "fw-1core", Gbps: 10, Watts: 50, Scalable: true}
+
+	// Naive evaluations would claim "2x faster!" and stop. The
+	// methodology instead notices the systems operate in different
+	// regimes (the accelerated one is faster AND costlier), ideally
+	// scales the baseline into the proposed system's comparison
+	// region, and only then concludes.
+	v, err := fairbench.CompareThroughputPower(proposed, baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fairbench.FormatVerdict(v))
+	fmt.Println()
+
+	// The same methodology refuses unfair claims. Latency does not
+	// scale, so two systems outside each other's comparison regions
+	// are simply incomparable — report both numbers and let readers
+	// decide (§4.3).
+	lv, err := fairbench.CompareLatencyPower(
+		fairbench.SystemPoint{Name: "lowlat-a", LatencyUs: 5, Watts: 200},
+		fairbench.SystemPoint{Name: "lowlat-b", LatencyUs: 8, Watts: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fairbench.FormatVerdict(lv))
+}

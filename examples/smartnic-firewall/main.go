@@ -1,0 +1,36 @@
+// smartnic-firewall reproduces the paper's §4.2 worked example
+// end-to-end: it simulates a software firewall on one and two host
+// cores and the same firewall with SmartNIC flow offload, measures each
+// system's RFC 2544 zero-loss throughput and composed power, and
+// applies the seven-principle evaluation.
+//
+//	go run ./examples/smartnic-firewall [-trial 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fairbench"
+)
+
+func main() {
+	trial := flag.Float64("trial", 0.01, "simulated seconds per measurement trial")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	fmt.Println("Simulating the §4.2 deployments (this runs real packets")
+	fmt.Println("through real firewall code on simulated hardware)...")
+	fmt.Println()
+
+	res, err := fairbench.RunSmartNIC(fairbench.ExpOptions{TrialSeconds: *trial, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fairbench.SmartNICReport(res))
+	fmt.Println()
+	fmt.Println("Paper's shape: baseline ~10 Gb/s @ 50 W; SmartNIC ~2x faster @ 70 W;")
+	fmt.Println("baseline with a second core lands in the SmartNIC system's comparison")
+	fmt.Println("region and is dominated — the accelerated design is a genuine win.")
+}

@@ -1,0 +1,70 @@
+// tco-release demonstrates §3.1's remedy for context-dependent cost
+// metrics: instead of publishing a TCO dollar figure (which no one else
+// can reproduce), publish the pricing model and bills of materials, and
+// let every reader compute TCO under their own deployment context.
+//
+// The program computes TCO for the same two systems under two very
+// different contexts — a big-city enterprise and a rural bulk-buying
+// hyperscaler — showing the dollar figures diverge while the
+// context-independent metrics (watts, rack units) stay identical.
+//
+//	go run ./examples/tco-release
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairbench"
+	"fairbench/internal/cost"
+	"fairbench/internal/report"
+)
+
+func main() {
+	release, err := fairbench.PricingRelease()
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, boms, err := cost.UnmarshalRelease(release)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	contexts := []cost.Context{
+		{
+			Name: "big-city-enterprise", EnergyUSDPerKWh: 0.25,
+			RackUSDPerUnitYear: 1200, PUE: 1.6, OpsUSDPerDeviceYear: 500,
+			CarbonKgPerKWh: 0.4,
+		},
+		{
+			Name: "rural-hyperscaler", EnergyUSDPerKWh: 0.06,
+			RackUSDPerUnitYear: 200, PUE: 1.1, HardwareDiscount: 0.35,
+			OpsUSDPerDeviceYear: 120, CarbonKgPerKWh: 0.2,
+		},
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("TCO over %.0f years — same systems, different contexts (§3.1)", model.Years),
+		"System", "Context", "Hardware ($)", "Energy ($)", "Rack ($)", "Ops ($)", "Total ($)")
+	for _, bom := range boms {
+		for _, ctx := range contexts {
+			tco, err := model.TCO(bom, ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRowf("%s|%s|%.0f|%.0f|%.0f|%.0f|%.0f",
+				bom.System, ctx.Name, tco.HardwareUSD, tco.EnergyUSD, tco.RackUSD, tco.OpsUSD, tco.TotalUSD)
+		}
+	}
+	fmt.Print(t.Text())
+
+	ci := report.NewTable("\nContext-independent costs — identical for every deployer (Principle 1)",
+		"System", "Power (W)", "Rack (RU)")
+	for _, bom := range boms {
+		ci.AddRowf("%s|%.0f|%.0f", bom.System, bom.TotalPowerWatts(), bom.TotalRackUnits())
+	}
+	fmt.Print(ci.Text())
+
+	fmt.Println("\nThe release artifact itself (publish this with the paper):")
+	fmt.Println(string(release)[:400] + " ...")
+}

@@ -1,0 +1,166 @@
+// Package fairbench is a toolkit for fair comparisons of systems that
+// run on heterogeneous hardware, implementing the methodology of Sadok,
+// Panda and Sherry, "Of Apples and Oranges: Fair Comparisons in
+// Heterogenous Systems Evaluation" (HotNets '23).
+//
+// The paper's prescription is that evaluations of accelerator-based
+// systems report and compare both performance and cost. This package
+// provides:
+//
+//   - cost metrics with the paper's three properties
+//     (context-independence, quantifiability, end-to-end coverage) and
+//     a registry classifying common metrics (Table 1);
+//   - the performance-cost plane: Pareto dominance, operating regimes,
+//     comparison regions (Figure 2), and ideal scaling of baselines
+//     (Figure 3) with guard rails for the §4.2.1 pitfalls;
+//   - an Evaluator that applies the paper's seven principles and
+//     returns explained verdicts;
+//   - a simulated heterogeneous testbed (CPU hosts, SmartNICs,
+//     programmable switches, FPGAs, real network functions, RFC 2544
+//     measurement) that regenerates every figure, table and worked
+//     example in the paper — see the Experiment runners and the
+//     `fairfigs` command.
+//
+// # Quickstart
+//
+// Compare a proposed system against a baseline in the throughput/power
+// plane:
+//
+//	v, err := fairbench.CompareThroughputPower(
+//	    fairbench.SystemPoint{Name: "fw-smartnic", Gbps: 20, Watts: 70, Scalable: true},
+//	    fairbench.SystemPoint{Name: "fw-host", Gbps: 10, Watts: 50, Scalable: true})
+//	fmt.Println(v.Conclusion, v.Claims)
+package fairbench
+
+import (
+	"fmt"
+
+	"fairbench/internal/core"
+	"fairbench/internal/metric"
+)
+
+// Re-exported core types: the public API of the methodology.
+type (
+	// Verdict is an explained evaluation outcome.
+	Verdict = core.Verdict
+	// Conclusion is the overall outcome of an evaluation.
+	Conclusion = core.Conclusion
+	// Relation is the Pareto relation between two points.
+	Relation = core.Relation
+	// Regime is the §4.1 operating-regime relationship.
+	Regime = core.Regime
+	// Plane is a (performance, cost) comparison space.
+	Plane = core.Plane
+	// Point is a position in a plane.
+	Point = core.Point
+	// System is a named system under evaluation.
+	System = core.System
+	// Evaluator applies the seven principles.
+	Evaluator = core.Evaluator
+	// PrincipleID identifies one of the paper's seven principles.
+	PrincipleID = core.PrincipleID
+	// ScalingResult is the Figure 3 ideal-scaling construction.
+	ScalingResult = core.ScalingResult
+	// RegionClass places a point relative to a comparison region.
+	RegionClass = core.RegionClass
+)
+
+// Re-exported constants.
+const (
+	ProposedSuperior    = core.ProposedSuperior
+	BaselineSuperior    = core.BaselineSuperior
+	Tie                 = core.Tie
+	IncomparableSystems = core.IncomparableSystems
+
+	Dominates    = core.Dominates
+	DominatedBy  = core.DominatedBy
+	Equal        = core.Equal
+	Incomparable = core.Incomparable
+
+	DefaultTolerance = core.DefaultTolerance
+)
+
+// NewEvaluator builds an evaluator over plane p; see core.NewEvaluator.
+func NewEvaluator(p Plane, opts ...core.Option) (*Evaluator, error) {
+	return core.NewEvaluator(p, opts...)
+}
+
+// ThroughputPowerPlane returns the plane used throughout the paper's
+// examples: throughput (Gb/s) versus power draw (W).
+func ThroughputPowerPlane() Plane { return core.DefaultPlane() }
+
+// LatencyPowerPlane returns the §4.3 plane: latency (µs) versus power.
+func LatencyPowerPlane() Plane { return core.LatencyPlane() }
+
+// SystemPoint is a convenience description of a measured system for the
+// one-call comparison helpers.
+type SystemPoint struct {
+	// Name identifies the system.
+	Name string
+	// Gbps is throughput (for CompareThroughputPower).
+	Gbps float64
+	// LatencyUs is latency in microseconds (for CompareLatencyPower).
+	LatencyUs float64
+	// Watts is provisioned power.
+	Watts float64
+	// Scalable reports whether the system can be horizontally scaled.
+	Scalable bool
+	// UtilizedFraction is the fraction of the costed hardware in use
+	// (0 or 1 = fully used); see the §4.2.1 coverage pitfall.
+	UtilizedFraction float64
+}
+
+func (s SystemPoint) throughputSystem() System {
+	return System{
+		Name:             s.Name,
+		Point:            core.Pt(metric.Q(s.Gbps, metric.GigabitPerSecond), metric.Q(s.Watts, metric.Watt)),
+		Scalable:         s.Scalable,
+		UtilizedFraction: s.UtilizedFraction,
+	}
+}
+
+func (s SystemPoint) latencySystem() System {
+	return System{
+		Name:             s.Name,
+		Point:            core.Pt(metric.Q(s.LatencyUs, metric.Microsecond), metric.Q(s.Watts, metric.Watt)),
+		Scalable:         s.Scalable,
+		UtilizedFraction: s.UtilizedFraction,
+	}
+}
+
+// CompareThroughputPower evaluates a proposed system against a baseline
+// in the throughput/power plane, applying the paper's principles.
+func CompareThroughputPower(proposed, baseline SystemPoint) (Verdict, error) {
+	e, err := core.NewEvaluator(core.DefaultPlane())
+	if err != nil {
+		return Verdict{}, err
+	}
+	return e.Evaluate(proposed.throughputSystem(), baseline.throughputSystem())
+}
+
+// CompareLatencyPower evaluates in the latency/power plane (§4.3);
+// latency is non-scalable, so Principle 7 governs.
+func CompareLatencyPower(proposed, baseline SystemPoint) (Verdict, error) {
+	e, err := core.NewEvaluator(core.LatencyPlane())
+	if err != nil {
+		return Verdict{}, err
+	}
+	return e.Evaluate(proposed.latencySystem(), baseline.latencySystem())
+}
+
+// FormatVerdict renders a verdict as human-readable lines suitable for
+// a report or paper appendix.
+func FormatVerdict(v Verdict) string {
+	out := fmt.Sprintf("%s vs %s [%s vs %s]\n", v.Proposed.Name, v.Baseline.Name, v.Proposed.Point, v.Baseline.Point)
+	out += fmt.Sprintf("  regime: %s; direct relation: %s; conclusion: %s\n", v.Regime, v.Direct, v.Conclusion)
+	for _, p := range v.Applied {
+		out += fmt.Sprintf("  applied %s: %s\n", p, p.Text())
+	}
+	for _, c := range v.Claims {
+		out += fmt.Sprintf("  claim: %s\n", c)
+	}
+	for _, w := range v.Warnings {
+		out += fmt.Sprintf("  warning: %s\n", w)
+	}
+	return out
+}

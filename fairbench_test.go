@@ -1,0 +1,307 @@
+package fairbench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fairbench/internal/core"
+)
+
+// These are the repository's integration tests: each one runs a full
+// experiment — workload generation → discrete-event simulation of the
+// heterogeneous deployment → RFC 2544 measurement → seven-principle
+// evaluation — and checks the paper's qualitative conclusion holds.
+
+func TestCompareThroughputPowerPaperNumbers(t *testing.T) {
+	// The §4.2 worked example verbatim.
+	v, err := CompareThroughputPower(
+		SystemPoint{Name: "fw-smartnic", Gbps: 20, Watts: 70, Scalable: true},
+		SystemPoint{Name: "fw-1core", Gbps: 10, Watts: 50, Scalable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Direct != Incomparable {
+		t.Errorf("direct relation = %v, want Incomparable", v.Direct)
+	}
+	if v.Conclusion != ProposedSuperior {
+		t.Errorf("after ideal scaling, conclusion = %v, want ProposedSuperior (20/70 > 10/50 per watt)", v.Conclusion)
+	}
+
+	// And the in-region 2-core comparison.
+	v2, err := CompareThroughputPower(
+		SystemPoint{Name: "fw-smartnic", Gbps: 20, Watts: 70, Scalable: true},
+		SystemPoint{Name: "fw-2core", Gbps: 18, Watts: 80, Scalable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Direct != Dominates || v2.Conclusion != ProposedSuperior {
+		t.Errorf("2-core comparison: %v/%v", v2.Direct, v2.Conclusion)
+	}
+}
+
+func TestCompareLatencyPowerPaperNumbers(t *testing.T) {
+	// §4.3 verbatim: comparable then incomparable.
+	v, err := CompareLatencyPower(
+		SystemPoint{Name: "a", LatencyUs: 5, Watts: 100},
+		SystemPoint{Name: "b", LatencyUs: 10, Watts: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conclusion != ProposedSuperior {
+		t.Errorf("comparable latency pair: %v", v.Conclusion)
+	}
+	v2, err := CompareLatencyPower(
+		SystemPoint{Name: "a", LatencyUs: 5, Watts: 200},
+		SystemPoint{Name: "b", LatencyUs: 8, Watts: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Conclusion != IncomparableSystems {
+		t.Errorf("incomparable latency pair: %v", v2.Conclusion)
+	}
+	if v2.Scaled != nil {
+		t.Error("latency must never be ideally scaled")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	res := RunTable1()
+	if len(res.Classification.ContextIndependent) < 5 {
+		t.Errorf("context-independent metrics = %d", len(res.Classification.ContextIndependent))
+	}
+	if len(res.Classification.ContextDependent) < 3 {
+		t.Errorf("context-dependent metrics = %d", len(res.Classification.ContextDependent))
+	}
+	txt := Table1Report(res).Text()
+	for _, frag := range []string{"Total cost of ownership", "Power draw", "Context Dependent", "Context Independent"} {
+		if !strings.Contains(txt, frag) {
+			t.Errorf("Table 1 report missing %q:\n%s", frag, txt)
+		}
+	}
+	sc := ScorecardReport(res).Text()
+	if !strings.Contains(sc, "✓") || !strings.Contains(sc, "✗") {
+		t.Errorf("scorecard should mark passes and failures:\n%s", sc)
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	res, err := RunFigure1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 1a: same cost, tuple-space faster.
+	if res.OldSameCost.PowerWatts != res.NewSameCost.PowerWatts {
+		t.Errorf("Fig 1a systems should share cost: %v vs %v W",
+			res.OldSameCost.PowerWatts, res.NewSameCost.PowerWatts)
+	}
+	if res.NewSameCost.ThroughputGbps <= res.OldSameCost.ThroughputGbps*1.1 {
+		t.Errorf("tuple-space (%v Gb/s) should clearly beat linear (%v Gb/s) at equal cost",
+			res.NewSameCost.ThroughputGbps, res.OldSameCost.ThroughputGbps)
+	}
+	if res.VerdictSameCost.Regime != core.SameCost {
+		t.Errorf("Fig 1a regime = %v", res.VerdictSameCost.Regime)
+	}
+	if res.VerdictSameCost.Conclusion != ProposedSuperior {
+		t.Errorf("Fig 1a conclusion = %v", res.VerdictSameCost.Conclusion)
+	}
+	// Fig 1b: same performance, fewer watts.
+	if res.OldSamePerf.PowerWatts <= res.NewSamePerf.PowerWatts {
+		t.Errorf("Fig 1b: old system should need more power (%v vs %v W)",
+			res.OldSamePerf.PowerWatts, res.NewSamePerf.PowerWatts)
+	}
+	if res.VerdictSamePerf.Conclusion != ProposedSuperior {
+		t.Errorf("Fig 1b conclusion = %v", res.VerdictSamePerf.Conclusion)
+	}
+}
+
+func TestRunFigure2(t *testing.T) {
+	res, err := RunFigure2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid) != 25 {
+		t.Fatalf("grid size = %d", len(res.Grid))
+	}
+	classes := make(map[RegionClass]int)
+	for _, c := range res.Grid {
+		classes[c.Class]++
+	}
+	// All four quadrant classes must appear in the sweep.
+	for _, cls := range []RegionClass{
+		core.InRegionDominates, core.InRegionDominated,
+		core.OutsideCheaperWorse, core.OutsideFasterCostlier,
+	} {
+		if classes[cls] == 0 {
+			t.Errorf("class %v never appears in the Figure 2 sweep", cls)
+		}
+	}
+	// The (1.0, 1.0) cell is the reference itself.
+	found := false
+	for _, c := range res.Grid {
+		if c.Gbps == res.Reference.ThroughputGbps && c.Watts == res.Reference.PowerWatts {
+			if c.Class != core.InRegionEqual {
+				t.Errorf("reference cell class = %v", c.Class)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reference cell missing from sweep")
+	}
+}
+
+func TestRunSmartNIC(t *testing.T) {
+	res, err := RunSmartNIC(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured shape of §4.2: the accelerated system is faster and
+	// costlier than the 1-core baseline.
+	if res.Proposed.ThroughputGbps <= res.Baseline1.ThroughputGbps*1.4 {
+		t.Errorf("SmartNIC speedup too small: %v vs %v Gb/s",
+			res.Proposed.ThroughputGbps, res.Baseline1.ThroughputGbps)
+	}
+	if res.Proposed.PowerWatts != 70 || res.Baseline1.PowerWatts != 50 || res.Baseline2.PowerWatts != 80 {
+		t.Errorf("powers = %v/%v/%v W, want 70/50/80",
+			res.Proposed.PowerWatts, res.Baseline1.PowerWatts, res.Baseline2.PowerWatts)
+	}
+	if res.VerdictVs1.Direct != Incomparable {
+		t.Errorf("proposed vs 1-core should be incomparable as measured: %v", res.VerdictVs1.Direct)
+	}
+	if res.VerdictVs1.Conclusion != ProposedSuperior {
+		t.Errorf("after ideal scaling: %v, want ProposedSuperior", res.VerdictVs1.Conclusion)
+	}
+	// The paper's conclusion: at the 2-core scaled regime, the
+	// proposed system dominates.
+	if res.VerdictVs2.Conclusion != ProposedSuperior {
+		t.Errorf("vs 2-core baseline: %v, want ProposedSuperior", res.VerdictVs2.Conclusion)
+	}
+}
+
+func TestRunSwitchScaling(t *testing.T) {
+	res, err := RunSwitchScaling(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape of §4.2.1: proposed ≈3x the baseline throughput at ≈2x the
+	// power; ideal scaling still leaves the proposed system superior.
+	ratio := res.Proposed.ThroughputGbps / res.Baseline.ThroughputGbps
+	if ratio < 2 {
+		t.Errorf("switch speedup = %.2fx, want >= 2x (paper: ~2.9x)", ratio)
+	}
+	if res.Proposed.PowerWatts != 200 {
+		t.Errorf("proposed power = %v, want 200", res.Proposed.PowerWatts)
+	}
+	if res.Verdict.Scaled == nil {
+		t.Fatal("verdict should include the ideal-scaling construction")
+	}
+	if res.Verdict.Conclusion != ProposedSuperior {
+		t.Errorf("conclusion = %v, want ProposedSuperior", res.Verdict.Conclusion)
+	}
+	// The scaled-baseline cost at matched performance must exceed the
+	// proposed system's cost (the paper's 286 W vs 200 W shape).
+	atPerf := res.Verdict.Scaled.AtMatchedPerf
+	if atPerf.Cost.Canonical() <= 200 {
+		t.Errorf("scaled baseline at matched perf costs %v, should exceed 200 W", atPerf.Cost)
+	}
+}
+
+func TestRunLatency(t *testing.T) {
+	res, err := RunLatency(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerdictComparable.Conclusion != ProposedSuperior {
+		t.Errorf("comparable pair: %v, want ProposedSuperior (FPGA dominates big host)", res.VerdictComparable.Conclusion)
+	}
+	if res.VerdictIncomparable.Conclusion != IncomparableSystems {
+		t.Errorf("incomparable pair: %v, want IncomparableSystems", res.VerdictIncomparable.Conclusion)
+	}
+	// P7 must be among the applied principles in both cases.
+	for _, v := range []Verdict{res.VerdictComparable, res.VerdictIncomparable} {
+		has := false
+		for _, p := range v.Applied {
+			if p == core.P7NonScalable {
+				has = true
+			}
+		}
+		if !has {
+			t.Errorf("P7 not applied: %v", v.Applied)
+		}
+	}
+}
+
+func TestRunPitfalls(t *testing.T) {
+	res, err := RunPitfalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.ScaleProposedErr, core.ErrScaleProposed) {
+		t.Errorf("pitfall 1 error = %v", res.ScaleProposedErr)
+	}
+	foundCoverage := false
+	for _, w := range res.CoverageWarnings {
+		if strings.Contains(w, "not generous") {
+			foundCoverage = true
+		}
+	}
+	if !foundCoverage {
+		t.Errorf("pitfall 2 warnings = %v", res.CoverageWarnings)
+	}
+	if !errors.Is(res.NonScalableErr, core.ErrNotScalableMetric) {
+		t.Errorf("pitfall 3 error = %v", res.NonScalableErr)
+	}
+}
+
+func TestRunRFC2544(t *testing.T) {
+	res, err := RunRFC2544(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput.Pps < 2e6 || res.Throughput.Pps > 5e6 {
+		t.Errorf("baseline throughput = %v pps", res.Throughput.Pps)
+	}
+	if len(res.Latency) != 6 {
+		t.Fatalf("latency points = %d", len(res.Latency))
+	}
+	if res.Latency[0].P99Us > res.Latency[len(res.Latency)-1].P99Us {
+		t.Error("latency should grow with load")
+	}
+	if len(res.LossCurve) != 7 {
+		t.Fatalf("loss points = %d", len(res.LossCurve))
+	}
+	if res.LossCurve[0].LossFraction > 0.001 || res.LossCurve[6].LossFraction < 0.3 {
+		t.Errorf("loss curve shape wrong: %v ... %v",
+			res.LossCurve[0].LossFraction, res.LossCurve[6].LossFraction)
+	}
+	if res.BackToBack <= 0 {
+		t.Errorf("back-to-back = %d", res.BackToBack)
+	}
+}
+
+func TestFormatVerdict(t *testing.T) {
+	v, err := CompareThroughputPower(
+		SystemPoint{Name: "new", Gbps: 100, Watts: 200, Scalable: true},
+		SystemPoint{Name: "old", Gbps: 35, Watts: 100, Scalable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatVerdict(v)
+	for _, frag := range []string{"new vs old", "Principle 6", "claim:", "conclusion: proposed-superior"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatVerdict missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExpOptionsDefaults(t *testing.T) {
+	o := ExpOptions{}.withDefaults()
+	if o.TrialSeconds != 0.02 || o.Seed != 1 || o.SearchResolution != 0.02 {
+		t.Errorf("defaults = %+v", o)
+	}
+	q := Quick()
+	if q.TrialSeconds >= o.TrialSeconds {
+		t.Error("Quick should reduce trial time")
+	}
+}

@@ -1,0 +1,364 @@
+package fairbench
+
+import (
+	"fmt"
+
+	"fairbench/internal/cost"
+	"fairbench/internal/report"
+)
+
+// Artifact is one regenerated paper artifact: a named file body.
+type Artifact struct {
+	// Name is the output filename, e.g. "figure2.svg".
+	Name string
+	// Body is the file content.
+	Body []byte
+}
+
+// RenderAll regenerates every paper artifact (tables, figures, worked
+// examples, the RFC 2544 suite, and the §3.1 pricing-model release) and
+// returns them as named artifacts ready to be written to disk. This is
+// the engine of the fairfigs command.
+func RenderAll(o ExpOptions) ([]Artifact, error) {
+	o = o.withDefaults()
+	var out []Artifact
+	add := func(name, body string) {
+		out = append(out, Artifact{Name: name, Body: []byte(body)})
+	}
+
+	// E1/E10 — Table 1 and the scorecard.
+	t1 := RunTable1()
+	add("table1.txt", Table1Report(t1).Text())
+	add("table1.md", Table1Report(t1).Markdown())
+	add("table1.csv", Table1Report(t1).CSV())
+	add("scorecard.txt", ScorecardReport(t1).Text())
+	add("scorecard.md", ScorecardReport(t1).Markdown())
+
+	// E2/E3 — Figure 1.
+	f1, err := RunFigure1(o)
+	if err != nil {
+		return nil, fmt.Errorf("figure 1: %w", err)
+	}
+	add("figure1a.svg", Figure1aPlot(f1).SVG())
+	add("figure1b.svg", Figure1bPlot(f1).SVG())
+	add("figure1.txt", Figure1Report(f1))
+
+	// E4 — Figure 2.
+	f2, err := RunFigure2(o)
+	if err != nil {
+		return nil, fmt.Errorf("figure 2: %w", err)
+	}
+	add("figure2.svg", Figure2Plot(f2).SVG())
+	add("figure2.csv", Figure2Table(f2).CSV())
+	add("figure2.txt", Figure2Table(f2).Text())
+
+	// E5/E7 — Figure 3 and the switch example.
+	e7, err := RunSwitchScaling(o)
+	if err != nil {
+		return nil, fmt.Errorf("switch scaling: %w", err)
+	}
+	add("figure3.svg", Figure3Plot(e7).SVG())
+	add("example-switch.txt", SwitchScalingReport(e7))
+
+	// E6 — SmartNIC example.
+	e6, err := RunSmartNIC(o)
+	if err != nil {
+		return nil, fmt.Errorf("smartnic example: %w", err)
+	}
+	add("example-smartnic.txt", SmartNICReport(e6))
+
+	// E8 — latency example.
+	e8, err := RunLatency(o)
+	if err != nil {
+		return nil, fmt.Errorf("latency example: %w", err)
+	}
+	add("example-latency.txt", LatencyReport(e8))
+
+	// E9 — pitfalls.
+	e9, err := RunPitfalls()
+	if err != nil {
+		return nil, fmt.Errorf("pitfalls: %w", err)
+	}
+	add("pitfalls.txt", PitfallReport(e9))
+
+	// E11 — RFC 2544 suite.
+	e11, err := RunRFC2544(o)
+	if err != nil {
+		return nil, fmt.Errorf("rfc2544: %w", err)
+	}
+	add("rfc2544.txt", RFC2544Report(e11))
+	add("rfc2544-loss.csv", RFC2544LossCSV(e11))
+	add("rfc2544-latency.csv", RFC2544LatencyCSV(e11))
+	add("rfc2544-loss.svg", RFC2544LossChart(e11).SVG())
+	add("rfc2544-latency.svg", RFC2544LatencyChart(e11).SVG())
+
+	// Extension — burst sensitivity under bursty arrivals.
+	eb, err := RunBurstSensitivity(o)
+	if err != nil {
+		return nil, fmt.Errorf("burst sensitivity: %w", err)
+	}
+	add("burst.txt", BurstReport(eb))
+	add("burst-latency.svg", BurstLatencyChart(eb).SVG())
+
+	// Extension — design-space frontier over all deployment classes.
+	fr, err := RunFrontier(o)
+	if err != nil {
+		return nil, fmt.Errorf("frontier: %w", err)
+	}
+	add("frontier.txt", FrontierReport(fr))
+	add("frontier.svg", FrontierPlot(fr).SVG())
+
+	// Extension — stateless vs stateful firewall ablation.
+	sa, err := RunStatefulAblation(o)
+	if err != nil {
+		return nil, fmt.Errorf("stateful ablation: %w", err)
+	}
+	add("ablation-stateful.txt", StatefulAblationReport(sa))
+
+	// Extension — operating curves (average power, energy-per-bit).
+	oc, err := RunOperatingCurves(o)
+	if err != nil {
+		return nil, fmt.Errorf("operating curves: %w", err)
+	}
+	add("operating-curves.txt", OperatingCurveReport(oc))
+	add("operating-curves.csv", OperatingCurveCSV(oc))
+
+	// Extension — verdict sensitivity to measurement error on the
+	// measured §4.2 systems.
+	sens, err := SensitivityReport(e6, 0.05)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: %w", err)
+	}
+	add("sensitivity.txt", sens)
+
+	// §3.1 — pricing-model release for the example systems.
+	rel, err := PricingRelease()
+	if err != nil {
+		return nil, fmt.Errorf("pricing release: %w", err)
+	}
+	add("pricing-release.json", string(rel))
+
+	return out, nil
+}
+
+// Figure1aPlot renders the same-cost comparison (Fig. 1a geometry).
+func Figure1aPlot(f Figure1Result) *report.PlanePlot {
+	return &report.PlanePlot{
+		Title:     "Figure 1a: improving performance at equal cost",
+		CostLabel: "Power (W)",
+		PerfLabel: "Throughput (Gb/s)",
+		Points: []report.PlanePoint{
+			{Label: "old (linear matcher)", Cost: f.OldSameCost.PowerWatts, Perf: f.OldSameCost.ThroughputGbps},
+			{Label: "new (tuple space)", Cost: f.NewSameCost.PowerWatts, Perf: f.NewSameCost.ThroughputGbps},
+		},
+	}
+}
+
+// Figure1bPlot renders the same-performance comparison (Fig. 1b).
+func Figure1bPlot(f Figure1Result) *report.PlanePlot {
+	return &report.PlanePlot{
+		Title:     "Figure 1b: improving cost at equal performance",
+		CostLabel: "Power (W)",
+		PerfLabel: "Throughput (Gb/s)",
+		Points: []report.PlanePoint{
+			{Label: "old (" + f.OldSamePerf.Name + ")", Cost: f.OldSamePerf.PowerWatts, Perf: f.TargetGbps},
+			{Label: "new (" + f.NewSamePerf.Name + ")", Cost: f.NewSamePerf.PowerWatts, Perf: f.TargetGbps},
+		},
+	}
+}
+
+// Figure1Report summarises both panels with their verdicts.
+func Figure1Report(f Figure1Result) string {
+	t := report.NewTable("Figure 1: same-regime comparisons (measured)",
+		"Panel", "System", "Throughput (Gb/s)", "Power (W)")
+	t.AddRowf("1a same-cost|%s|%.2f|%.0f", f.OldSameCost.Name, f.OldSameCost.ThroughputGbps, f.OldSameCost.PowerWatts)
+	t.AddRowf("1a same-cost|%s|%.2f|%.0f", f.NewSameCost.Name, f.NewSameCost.ThroughputGbps, f.NewSameCost.PowerWatts)
+	t.AddRowf("1b same-perf|%s|%.2f|%.0f", f.OldSamePerf.Name, f.TargetGbps, f.OldSamePerf.PowerWatts)
+	t.AddRowf("1b same-perf|%s|%.2f|%.0f", f.NewSamePerf.Name, f.TargetGbps, f.NewSamePerf.PowerWatts)
+	return t.Text() + "\n" + FormatVerdict(f.VerdictSameCost) + "\n" + FormatVerdict(f.VerdictSamePerf)
+}
+
+// Figure2Plot renders the comparison region around the measured
+// reference system.
+func Figure2Plot(f Figure2Result) *report.PlanePlot {
+	p := &report.PlanePlot{
+		Title:     "Figure 2: comparison region of " + f.Reference.Name,
+		CostLabel: "Power (W)",
+		PerfLabel: "Throughput (Gb/s)",
+		Region:    &report.PlanePoint{Cost: f.Reference.PowerWatts, Perf: f.Reference.ThroughputGbps},
+		Points: []report.PlanePoint{
+			{Label: "A (" + f.Reference.Name + ")", Cost: f.Reference.PowerWatts, Perf: f.Reference.ThroughputGbps},
+		},
+	}
+	return p
+}
+
+// Figure2Table lists the classified sweep.
+func Figure2Table(f Figure2Result) *report.Table {
+	t := report.NewTable("Figure 2 sweep: candidates vs the comparison region of "+f.Reference.Name,
+		"Throughput (Gb/s)", "Power (W)", "Class")
+	for _, c := range f.Grid {
+		t.AddRowf("%.2f|%.1f|%s", c.Gbps, c.Watts, c.Class)
+	}
+	return t
+}
+
+// Figure3Plot renders the ideal-scaling construction on the measured
+// §4.2.1 systems.
+func Figure3Plot(e SwitchScalingResult) *report.PlanePlot {
+	p := &report.PlanePlot{
+		Title:       "Figure 3: ideally scaling the baseline to A's comparison region",
+		CostLabel:   "Power (W)",
+		PerfLabel:   "Throughput (Gb/s)",
+		Region:      &report.PlanePoint{Cost: e.Proposed.PowerWatts, Perf: e.Proposed.ThroughputGbps},
+		ScalingFrom: &report.PlanePoint{Cost: e.Baseline.PowerWatts, Perf: e.Baseline.ThroughputGbps},
+		Points: []report.PlanePoint{
+			{Label: "A (switch)", Cost: e.Proposed.PowerWatts, Perf: e.Proposed.ThroughputGbps},
+			{Label: "B (host)", Cost: e.Baseline.PowerWatts, Perf: e.Baseline.ThroughputGbps},
+		},
+	}
+	if e.Verdict.Scaled != nil {
+		p.Points = append(p.Points,
+			report.PlanePoint{Label: "B scaled (cost match)", Hollow: true,
+				Cost: e.Verdict.Scaled.AtMatchedCost.Cost.Value, Perf: e.Verdict.Scaled.AtMatchedCost.Perf.Value},
+			report.PlanePoint{Label: "B scaled (perf match)", Hollow: true,
+				Cost: e.Verdict.Scaled.AtMatchedPerf.Cost.Value, Perf: e.Verdict.Scaled.AtMatchedPerf.Perf.Value})
+	}
+	return p
+}
+
+// SmartNICReport renders the §4.2 example.
+func SmartNICReport(e SmartNICResult) string {
+	t := report.NewTable("§4.2 example: SmartNIC-accelerated firewall (measured)",
+		"System", "Throughput (Gb/s)", "Power (W)", "p99 latency (µs)")
+	for _, m := range []MeasuredSystem{e.Baseline1, e.Baseline2, e.Proposed} {
+		t.AddRowf("%s|%.2f|%.0f|%.2f", m.Name, m.ThroughputGbps, m.PowerWatts, m.LatencyP99Us)
+	}
+	return t.Text() + "\n" + FormatVerdict(e.VerdictVs1) + "\n" + FormatVerdict(e.VerdictVs2)
+}
+
+// SwitchScalingReport renders the §4.2.1 example.
+func SwitchScalingReport(e SwitchScalingResult) string {
+	t := report.NewTable("§4.2.1 example: switch preprocessing with ideal scaling (measured)",
+		"System", "Throughput (Gb/s)", "Power (W)")
+	t.AddRowf("%s|%.2f|%.0f", e.Baseline.Name, e.Baseline.ThroughputGbps, e.Baseline.PowerWatts)
+	t.AddRowf("%s|%.2f|%.0f", e.Proposed.Name, e.Proposed.ThroughputGbps, e.Proposed.PowerWatts)
+	out := t.Text() + "\n"
+	if s := e.Verdict.Scaled; s != nil {
+		st := report.NewTable("Ideal-scaling construction", "Intercept", "Factor", "Point", "Proposed vs scaled")
+		st.AddRowf("matched cost|%.2fx|%s|%s", s.FactorAtCost, s.AtMatchedCost, s.RelAtMatchedCost)
+		st.AddRowf("matched perf|%.2fx|%s|%s", s.FactorAtPerf, s.AtMatchedPerf, s.RelAtMatchedPerf)
+		out += st.Text() + "\n"
+	}
+	return out + FormatVerdict(e.Verdict)
+}
+
+// LatencyReport renders the §4.3 example.
+func LatencyReport(e LatencyResult) string {
+	t := report.NewTable("§4.3 example: non-scalable latency comparisons (measured)",
+		"System", "p99 latency (µs)", "Power (W)")
+	for _, m := range []MeasuredSystem{e.FPGASystem, e.BigHost, e.SmallHost} {
+		t.AddRowf("%s|%.2f|%.0f", m.Name, m.LatencyP99Us, m.PowerWatts)
+	}
+	return t.Text() + "\n" + FormatVerdict(e.VerdictComparable) + "\n" + FormatVerdict(e.VerdictIncomparable)
+}
+
+// PitfallReport renders the §4.2.1 pitfall demonstrations.
+func PitfallReport(e PitfallResult) string {
+	t := report.NewTable("§4.2.1 pitfalls: methodology guard rails", "Pitfall", "Behaviour")
+	t.AddRowf("1: scaling the proposed system|refused: %v", e.ScaleProposedErr)
+	for _, w := range e.CoverageWarnings {
+		t.AddRowf("2: cost coverage when scaling|warned: %s", w)
+	}
+	t.AddRowf("3: scaling a non-scalable metric|refused: %v", e.NonScalableErr)
+	return t.Text()
+}
+
+// RFC2544Report renders the measurement suite summary.
+func RFC2544Report(e RFC2544Result) string {
+	t := report.NewTable("RFC 2544 suite: fw-host-1core", "Measurement", "Value")
+	t.AddRowf("zero-loss throughput|%.3f Mpps (%.2f Gb/s)", e.Throughput.Pps/1e6, e.Throughput.Gbps)
+	t.AddRowf("back-to-back burst|%d packets", e.BackToBack)
+	out := t.Text() + "\n"
+	lt := report.NewTable("Latency vs load", "Load", "Offered (Mpps)", "mean (µs)", "p50 (µs)", "p99 (µs)")
+	for _, p := range e.Latency {
+		lt.AddRowf("%.0f%%|%.2f|%.2f|%.2f|%.2f", p.LoadFraction*100, p.OfferedPps/1e6, p.MeanUs, p.P50Us, p.P99Us)
+	}
+	return out + lt.Text()
+}
+
+// RFC2544LossCSV renders the frame-loss curve as CSV.
+func RFC2544LossCSV(e RFC2544Result) string {
+	t := report.NewTable("", "offered_pps", "loss_fraction")
+	for _, p := range e.LossCurve {
+		t.AddRowf("%.0f|%.6f", p.OfferedPps, p.LossFraction)
+	}
+	return t.CSV()
+}
+
+// RFC2544LatencyCSV renders the latency-vs-load series as CSV.
+func RFC2544LatencyCSV(e RFC2544Result) string {
+	t := report.NewTable("", "load_fraction", "offered_pps", "mean_us", "p50_us", "p99_us")
+	for _, p := range e.Latency {
+		t.AddRowf("%.2f|%.0f|%.4f|%.4f|%.4f", p.LoadFraction, p.OfferedPps, p.MeanUs, p.P50Us, p.P99Us)
+	}
+	return t.CSV()
+}
+
+// RFC2544LossChart renders the frame-loss curve as a line chart.
+func RFC2544LossChart(e RFC2544Result) *report.LineChart {
+	var pts []report.XY
+	for _, p := range e.LossCurve {
+		pts = append(pts, report.XY{X: p.OfferedPps / 1e6, Y: p.LossFraction * 100})
+	}
+	return &report.LineChart{
+		Title:  "RFC 2544 frame-loss rate: fw-host-1core",
+		XLabel: "Offered load (Mpps)",
+		YLabel: "Loss (%)",
+		Series: []report.Series{{Name: "fw-host-1core", Points: pts}},
+	}
+}
+
+// RFC2544LatencyChart renders latency vs load as a line chart.
+func RFC2544LatencyChart(e RFC2544Result) *report.LineChart {
+	var p50, p99 []report.XY
+	for _, p := range e.Latency {
+		p50 = append(p50, report.XY{X: p.LoadFraction * 100, Y: p.P50Us})
+		p99 = append(p99, report.XY{X: p.LoadFraction * 100, Y: p.P99Us})
+	}
+	return &report.LineChart{
+		Title:  "RFC 2544 latency vs load: fw-host-1core",
+		XLabel: "Load (% of zero-loss throughput)",
+		YLabel: "Latency (µs)",
+		Series: []report.Series{
+			{Name: "p50", Points: p50},
+			{Name: "p99", Points: p99, Dashed: true},
+		},
+	}
+}
+
+// PricingRelease builds the §3.1 artifact for the example systems: the
+// pricing model plus per-system bills of materials, letting any reader
+// recompute TCO under their own deployment context.
+func PricingRelease() ([]byte, error) {
+	server := func(system string, cores int) cost.BillOfMaterials {
+		return cost.BillOfMaterials{
+			System: system,
+			Items: []cost.BOMItem{
+				{Device: "server-chassis", Count: 1, ListPriceUSD: 4000, PowerWatts: 15, RackUnits: 1},
+				{Device: "dataplane-core", Count: cores, ListPriceUSD: 250, PowerWatts: 30},
+			},
+		}
+	}
+	base1 := server("fw-host-1core", 1)
+	base1.Items = append(base1.Items, cost.BOMItem{Device: "nic-100g", Count: 1, ListPriceUSD: 400, PowerWatts: 5})
+	base2 := server("fw-host-2core", 2)
+	base2.Items = append(base2.Items, cost.BOMItem{Device: "nic-100g", Count: 1, ListPriceUSD: 400, PowerWatts: 5})
+	snic := server("fw-smartnic", 1)
+	snic.Items = append(snic.Items, cost.BOMItem{Device: "smartnic", Count: 1, ListPriceUSD: 2200, PowerWatts: 25})
+	sw := server("fw-switch", 3)
+	sw.Items = append(sw.Items,
+		cost.BOMItem{Device: "nic-100g", Count: 1, ListPriceUSD: 400, PowerWatts: 5},
+		cost.BOMItem{Device: "switch-slice", Count: 1, ListPriceUSD: 6000, PowerWatts: 90, RackUnits: 1})
+	return cost.MarshalRelease(cost.DefaultPricingModel, base1, base2, snic, sw)
+}

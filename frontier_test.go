@@ -1,0 +1,79 @@
+package fairbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFrontier(t *testing.T) {
+	res, err := RunFrontier(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Systems) != 6 {
+		t.Fatalf("systems = %d", len(res.Systems))
+	}
+	if len(res.Frontier)+len(res.Dominated) != len(res.Systems) {
+		t.Error("frontier and dominated must partition the sweep")
+	}
+	if len(res.Frontier) == 0 || len(res.Dominated) == 0 {
+		t.Errorf("frontier = %d, dominated = %d; both should be non-empty for this design space",
+			len(res.Frontier), len(res.Dominated))
+	}
+	// Every dominated system has an explaining verdict with a winning
+	// frontier member.
+	if len(res.Verdicts) != len(res.Dominated) {
+		t.Errorf("verdicts = %d, dominated = %d", len(res.Verdicts), len(res.Dominated))
+	}
+	for _, v := range res.Verdicts {
+		if v.Direct != Dominates {
+			t.Errorf("dominated-system verdict relation = %v", v.Direct)
+		}
+	}
+	// The switch deployment burns 200 W on a workload with little
+	// in-network-droppable traffic: it must not be on the frontier.
+	for _, s := range res.Frontier {
+		if s.Name == "fw-switch" {
+			t.Error("fw-switch should be dominated under the E6 (20% attack) workload")
+		}
+	}
+	// The one-core host is the cheapest point and must be on the
+	// frontier.
+	found := false
+	for _, s := range res.Frontier {
+		if s.Name == "fw-host-1core" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fw-host-1core (cheapest) should be on the frontier")
+	}
+
+	rep := FrontierReport(res)
+	for _, frag := range []string{"On frontier", "✓", "✗", "Gb/s per W"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+	svg := FrontierPlot(res).SVG()
+	if !strings.Contains(svg, "fw-smartnic") || !strings.Contains(svg, "<circle") {
+		t.Error("frontier plot incomplete")
+	}
+}
+
+func TestFrontierDeterministic(t *testing.T) {
+	a, err := RunFrontier(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFrontier(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Systems {
+		if a.Systems[i] != b.Systems[i] {
+			t.Fatalf("frontier sweep not deterministic at %d: %+v vs %+v",
+				i, a.Systems[i], b.Systems[i])
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Metamorphic properties of the full evaluator: relations that must
+// hold between evaluations of transformed inputs, regardless of the
+// specific numbers.
+
+func randSystem(r *rand.Rand, name string) System {
+	return System{
+		Name:     name,
+		Point:    gp(float64(r.Intn(190)+10), float64(r.Intn(290)+10)),
+		Scalable: true,
+	}
+}
+
+// Property: swapping proposed and baseline swaps Superior conclusions
+// and preserves ties/incomparability.
+func TestEvaluateRoleAntisymmetry(t *testing.T) {
+	e := sensEvaluator(t)
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 500; i++ {
+		a, b := randSystem(r, "a"), randSystem(r, "b")
+		vab, err := e.Evaluate(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vba, err := e.Evaluate(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want Conclusion
+		switch vab.Conclusion {
+		case ProposedSuperior:
+			want = BaselineSuperior
+		case BaselineSuperior:
+			want = ProposedSuperior
+		default:
+			want = vab.Conclusion
+		}
+		if vba.Conclusion != want {
+			t.Fatalf("antisymmetry violated: %s vs %s → %v, swapped → %v",
+				a.Point, b.Point, vab.Conclusion, vba.Conclusion)
+		}
+	}
+}
+
+// Property: scaling both systems' points by the same factor k leaves
+// the conclusion unchanged (the plane has no preferred scale).
+func TestEvaluateScaleInvariance(t *testing.T) {
+	e := sensEvaluator(t)
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 500; i++ {
+		a, b := randSystem(r, "a"), randSystem(r, "b")
+		k := 0.5 + r.Float64()*9.5
+		scale := func(s System) System {
+			s.Point.Perf = s.Point.Perf.Scale(k)
+			s.Point.Cost = s.Point.Cost.Scale(k)
+			return s
+		}
+		v1, err := e.Evaluate(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := e.Evaluate(scale(a), scale(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1.Conclusion != v2.Conclusion {
+			t.Fatalf("scale invariance violated at k=%v: %v vs %v (points %s, %s)",
+				k, v1.Conclusion, v2.Conclusion, a.Point, b.Point)
+		}
+	}
+}
+
+// Property: strictly improving the proposed system (more perf, less
+// cost) never demotes the conclusion ordering
+// BaselineSuperior < Incomparable/Tie < ProposedSuperior.
+func TestEvaluateMonotoneInProposedImprovement(t *testing.T) {
+	rank := func(c Conclusion) int {
+		switch c {
+		case BaselineSuperior:
+			return 0
+		case ProposedSuperior:
+			return 2
+		default:
+			return 1
+		}
+	}
+	e := sensEvaluator(t)
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 500; i++ {
+		a, b := randSystem(r, "a"), randSystem(r, "b")
+		v1, err := e.Evaluate(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved := a
+		improved.Point.Perf = improved.Point.Perf.Scale(1.2)
+		improved.Point.Cost = improved.Point.Cost.Scale(0.8)
+		v2, err := e.Evaluate(improved, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rank(v2.Conclusion) < rank(v1.Conclusion) {
+			t.Fatalf("improvement demoted the verdict: %v → %v (a=%s b=%s)",
+				v1.Conclusion, v2.Conclusion, a.Point, b.Point)
+		}
+	}
+}
+
+// Property: every evaluation of valid scalable systems produces at
+// least one claim, and its regime/direct relation are consistent
+// (same-regime evaluations never report Incomparable directly).
+func TestEvaluateAlwaysExplains(t *testing.T) {
+	e := sensEvaluator(t)
+	r := rand.New(rand.NewSource(53))
+	for i := 0; i < 1000; i++ {
+		v, err := e.Evaluate(randSystem(r, "a"), randSystem(r, "b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Claims) == 0 {
+			t.Fatal("verdict without claims")
+		}
+		if len(v.Applied) == 0 {
+			t.Fatalf("verdict without principles: %+v", v)
+		}
+		if v.Regime.Unidimensional() && v.Direct == Incomparable {
+			t.Fatalf("same-regime evaluation cannot be incomparable: %+v", v)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"fairbench/internal/metric"
+)
+
+// Multi-plane evaluation. A single cost metric can hide trade-offs: a
+// design may win on power but lose on rack space. Evaluating the same
+// pair of systems across several (performance, cost) planes — each with
+// a cost metric satisfying the §3 principles — and checking whether the
+// verdict is invariant gives a robustness notion the paper's §5 calls
+// for when it asks the community to "develop good cost metrics ... and
+// evaluate their utility".
+
+// MultiPoint is a system's performance plus a vector of cost values,
+// one per cost metric of interest.
+type MultiPoint struct {
+	Perf  metric.Quantity
+	Costs map[string]metric.Quantity // keyed by metric name
+}
+
+// MultiSystem is a named system with a MultiPoint.
+type MultiSystem struct {
+	Name     string
+	Point    MultiPoint
+	Scalable bool
+}
+
+// PlaneVerdict is the outcome in one plane.
+type PlaneVerdict struct {
+	CostMetric string
+	Verdict    Verdict
+}
+
+// MultiVerdict aggregates per-plane verdicts.
+type MultiVerdict struct {
+	Planes []PlaneVerdict
+	// Robust is true when every plane reaches the same conclusion.
+	Robust bool
+	// Conclusion is the shared conclusion when Robust, else
+	// IncomparableSystems.
+	Conclusion Conclusion
+}
+
+// MultiEvaluator evaluates across several cost metrics.
+type MultiEvaluator struct {
+	perf        Axis
+	costMetrics []metric.Descriptor
+	tol         float64
+}
+
+// NewMultiEvaluator builds an evaluator over the given performance
+// metric and cost metrics. Every cost metric must satisfy the paper's
+// three principles.
+func NewMultiEvaluator(perf metric.Descriptor, costs []metric.Descriptor, tol float64) (*MultiEvaluator, error) {
+	if len(costs) == 0 {
+		return nil, fmt.Errorf("core: multi-evaluator needs at least one cost metric")
+	}
+	if tol < 0 {
+		return nil, fmt.Errorf("core: negative tolerance %v", tol)
+	}
+	if tol == 0 {
+		tol = DefaultTolerance
+	}
+	for _, c := range costs {
+		p := Plane{Perf: AxisFor(perf), Cost: AxisFor(c)}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &MultiEvaluator{perf: AxisFor(perf), costMetrics: costs, tol: tol}, nil
+}
+
+// Evaluate runs the seven-principle evaluation in every plane. Missing
+// cost entries are an end-to-end coverage failure (Principle 3) and
+// produce an error naming the metric and system.
+func (m *MultiEvaluator) Evaluate(proposed, baseline MultiSystem) (MultiVerdict, error) {
+	var out MultiVerdict
+	for _, cm := range m.costMetrics {
+		plane := Plane{Perf: m.perf, Cost: AxisFor(cm)}
+		e, err := NewEvaluator(plane, WithTolerance(m.tol))
+		if err != nil {
+			return out, err
+		}
+		ps, err := toSystem(plane, proposed, cm.Name)
+		if err != nil {
+			return out, err
+		}
+		bs, err := toSystem(plane, baseline, cm.Name)
+		if err != nil {
+			return out, err
+		}
+		v, err := e.Evaluate(ps, bs)
+		if err != nil {
+			return out, err
+		}
+		out.Planes = append(out.Planes, PlaneVerdict{CostMetric: cm.Name, Verdict: v})
+	}
+	out.Robust = true
+	out.Conclusion = out.Planes[0].Verdict.Conclusion
+	for _, pv := range out.Planes[1:] {
+		if pv.Verdict.Conclusion != out.Conclusion {
+			out.Robust = false
+			out.Conclusion = IncomparableSystems
+			break
+		}
+	}
+	return out, nil
+}
+
+func toSystem(p Plane, ms MultiSystem, costMetric string) (System, error) {
+	c, ok := ms.Point.Costs[costMetric]
+	if !ok {
+		return System{}, fmt.Errorf("core: system %q does not report cost metric %q (end-to-end coverage, Principle 3)", ms.Name, costMetric)
+	}
+	pt := Point{Perf: ms.Point.Perf, Cost: c}
+	if err := pt.Validate(p); err != nil {
+		return System{}, fmt.Errorf("core: system %q: %w", ms.Name, err)
+	}
+	return System{Name: ms.Name, Point: pt, Scalable: ms.Scalable}, nil
+}
+
+// NamedPoint pairs a system name with a plane point, for frontier
+// reports.
+type NamedPoint struct {
+	Name  string
+	Point Point
+}
+
+// NamedFrontier computes the Pareto frontier over named systems,
+// returning frontier members and dominated systems separately, each
+// preserving input order.
+func NamedFrontier(p Plane, systems []NamedPoint, tol float64) (frontier, dominated []NamedPoint, err error) {
+	for _, s := range systems {
+		if verr := s.Point.Validate(p); verr != nil {
+			return nil, nil, fmt.Errorf("core: frontier system %q: %w", s.Name, verr)
+		}
+	}
+	for i, a := range systems {
+		isDominated := false
+		for j, b := range systems {
+			if i == j {
+				continue
+			}
+			rel, cerr := Compare(p, a.Point, b.Point, tol)
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+			if rel == DominatedBy {
+				isDominated = true
+				break
+			}
+		}
+		if isDominated {
+			dominated = append(dominated, a)
+		} else {
+			frontier = append(frontier, a)
+		}
+	}
+	return frontier, dominated, nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fairbench/internal/metric"
+)
+
+func multiSys(name string, gbps, watts, rackUnits float64) MultiSystem {
+	return MultiSystem{
+		Name: name,
+		Point: MultiPoint{
+			Perf: metric.Q(gbps, metric.GigabitPerSecond),
+			Costs: map[string]metric.Quantity{
+				metric.MetricPower:     metric.Q(watts, metric.Watt),
+				metric.MetricRackSpace: metric.Q(rackUnits, metric.RackUnit),
+			},
+		},
+		Scalable: true,
+	}
+}
+
+func rackSpaceDescriptor() metric.Descriptor {
+	// Rack space fails strict validation (conditionally
+	// context-independent); for multi-plane tests we use a qualified
+	// variant that records the extra information as provided.
+	d := metric.Standard().MustLookup(metric.MetricRackSpace)
+	d.Props.ContextIndependent = true
+	d.Props.Qualification = "power and cooling assumptions stated"
+	return d
+}
+
+func newMulti(t *testing.T) *MultiEvaluator {
+	t.Helper()
+	perf := metric.Standard().MustLookup(metric.MetricThroughputBps)
+	power := metric.Standard().MustLookup(metric.MetricPower)
+	m, err := NewMultiEvaluator(perf, []metric.Descriptor{power, rackSpaceDescriptor()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMultiEvaluatorRobustWin(t *testing.T) {
+	m := newMulti(t)
+	// Proposed wins on both power and rack space.
+	v, err := m.Evaluate(multiSys("a", 100, 150, 1), multiSys("b", 40, 100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Robust {
+		t.Errorf("verdicts should agree: %+v", v.Planes)
+	}
+	if v.Conclusion != ProposedSuperior {
+		t.Errorf("conclusion = %v", v.Conclusion)
+	}
+	if len(v.Planes) != 2 {
+		t.Fatalf("planes = %d", len(v.Planes))
+	}
+}
+
+func TestMultiEvaluatorConflictingPlanes(t *testing.T) {
+	m := newMulti(t)
+	// Proposed wins on power slope but loses on rack-space slope:
+	// a: 100 Gb/s, 150 W, 8 RU (12.5 Gb/s per RU)
+	// b: 40 Gb/s, 100 W, 1 RU (40 Gb/s per RU)
+	v, err := m.Evaluate(multiSys("a", 100, 150, 8), multiSys("b", 40, 100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Robust {
+		t.Error("conflicting planes must not be robust")
+	}
+	if v.Conclusion != IncomparableSystems {
+		t.Errorf("aggregate conclusion = %v", v.Conclusion)
+	}
+	byMetric := map[string]Conclusion{}
+	for _, pv := range v.Planes {
+		byMetric[pv.CostMetric] = pv.Verdict.Conclusion
+	}
+	if byMetric[metric.MetricPower] != ProposedSuperior {
+		t.Errorf("power plane = %v", byMetric[metric.MetricPower])
+	}
+	if byMetric[metric.MetricRackSpace] != BaselineSuperior {
+		t.Errorf("rack plane = %v", byMetric[metric.MetricRackSpace])
+	}
+}
+
+func TestMultiEvaluatorCoverageHole(t *testing.T) {
+	m := newMulti(t)
+	incomplete := MultiSystem{
+		Name: "b",
+		Point: MultiPoint{
+			Perf:  metric.Q(40, metric.GigabitPerSecond),
+			Costs: map[string]metric.Quantity{metric.MetricPower: metric.Q(100, metric.Watt)},
+		},
+	}
+	_, err := m.Evaluate(multiSys("a", 100, 150, 1), incomplete)
+	if err == nil || !strings.Contains(err.Error(), "Principle 3") {
+		t.Errorf("missing rack-space cost should fail with a P3 error: %v", err)
+	}
+}
+
+func TestMultiEvaluatorValidation(t *testing.T) {
+	perf := metric.Standard().MustLookup(metric.MetricThroughputBps)
+	if _, err := NewMultiEvaluator(perf, nil, 0); err == nil {
+		t.Error("no cost metrics should fail")
+	}
+	cores := metric.Standard().MustLookup(metric.MetricCores)
+	if _, err := NewMultiEvaluator(perf, []metric.Descriptor{cores}, 0); err == nil {
+		t.Error("cores (fails P3) should be rejected")
+	}
+	power := metric.Standard().MustLookup(metric.MetricPower)
+	if _, err := NewMultiEvaluator(perf, []metric.Descriptor{power}, -1); err == nil {
+		t.Error("negative tolerance should fail")
+	}
+}
+
+func TestNamedFrontier(t *testing.T) {
+	p := DefaultPlane()
+	systems := []NamedPoint{
+		{Name: "cheap", Point: gp(10, 50)},
+		{Name: "mid", Point: gp(20, 100)},
+		{Name: "bad", Point: gp(15, 120)},
+		{Name: "fast", Point: gp(30, 200)},
+	}
+	front, dominated, err := NamedFrontier(p, systems, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) != 3 || len(dominated) != 1 {
+		t.Fatalf("front=%d dominated=%d", len(front), len(dominated))
+	}
+	if dominated[0].Name != "bad" {
+		t.Errorf("dominated = %v", dominated[0].Name)
+	}
+	names := []string{front[0].Name, front[1].Name, front[2].Name}
+	want := []string{"cheap", "mid", "fast"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("frontier order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestNamedFrontierUnitError(t *testing.T) {
+	p := DefaultPlane()
+	bad := []NamedPoint{{Name: "x", Point: lp(5, 100)}}
+	if _, _, err := NamedFrontier(p, bad, 0); err == nil {
+		t.Error("latency point on throughput plane should fail")
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// Regime classifies whether two systems operate in the same regime
+// (paper §4.1): under the same workload they present the same cost or
+// the same performance. When they do, the comparison collapses to one
+// dimension (Principle 4, Figure 1).
+type Regime int
+
+const (
+	// DifferentRegime: the systems differ on both axes; the analysis
+	// must consider performance and cost together (§4.2).
+	DifferentRegime Regime = iota
+	// SameCost: equal cost within tolerance; compare performance only
+	// (Figure 1a: "improves throughput with a single core from 10Gbps
+	// to 15Gbps").
+	SameCost
+	// SamePerf: equal performance within tolerance; compare cost only
+	// (Figure 1b: "reduces the number of cores required to saturate a
+	// 100Gbps link from 8 to 4").
+	SamePerf
+	// SameBoth: the points coincide on both axes.
+	SameBoth
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	switch r {
+	case SameCost:
+		return "same-cost"
+	case SamePerf:
+		return "same-performance"
+	case SameBoth:
+		return "same-cost-and-performance"
+	default:
+		return "different-regime"
+	}
+}
+
+// Unidimensional reports whether the comparison can be reduced to a
+// single axis (Principle 4).
+func (r Regime) Unidimensional() bool { return r != DifferentRegime }
+
+// ClassifyRegime determines the operating-regime relationship of two
+// points with relative tolerance tol.
+func ClassifyRegime(p Plane, a, b Point, tol float64) (Regime, error) {
+	if err := a.Validate(p); err != nil {
+		return DifferentRegime, err
+	}
+	if err := b.Validate(p); err != nil {
+		return DifferentRegime, err
+	}
+	perfEq := a.Perf.ApproxEqual(b.Perf, tol)
+	costEq := a.Cost.ApproxEqual(b.Cost, tol)
+	switch {
+	case perfEq && costEq:
+		return SameBoth, nil
+	case costEq:
+		return SameCost, nil
+	case perfEq:
+		return SamePerf, nil
+	default:
+		return DifferentRegime, nil
+	}
+}
+
+// UnidimensionalClaim renders the one-dimensional claim that Principle 4
+// licenses when two systems share a regime, e.g. "at equal cost (70 W),
+// proposed improves throughput-bps from 10 Gb/s to 20 Gb/s". It returns
+// an error if the points are not in the same regime.
+func UnidimensionalClaim(p Plane, proposed, baseline Point, tol float64) (string, error) {
+	reg, err := ClassifyRegime(p, proposed, baseline, tol)
+	if err != nil {
+		return "", err
+	}
+	switch reg {
+	case SameCost:
+		verb := "improves"
+		if !p.Perf.Better(proposed.Perf.Canonical(), baseline.Perf.Canonical()) {
+			verb = "degrades"
+			if proposed.Perf.ApproxEqual(baseline.Perf, tol) {
+				verb = "matches"
+			}
+		}
+		return fmt.Sprintf("at equal cost (%s), proposed %s %s from %s to %s",
+			baseline.Cost, verb, p.Perf.Metric.Name, baseline.Perf, proposed.Perf), nil
+	case SamePerf:
+		verb := "reduces"
+		if !p.Cost.Better(proposed.Cost.Canonical(), baseline.Cost.Canonical()) {
+			verb = "increases"
+			if proposed.Cost.ApproxEqual(baseline.Cost, tol) {
+				verb = "matches"
+			}
+		}
+		return fmt.Sprintf("at equal performance (%s), proposed %s %s from %s to %s",
+			baseline.Perf, verb, p.Cost.Metric.Name, baseline.Cost, proposed.Cost), nil
+	case SameBoth:
+		return "proposed and baseline coincide in the performance-cost plane", nil
+	default:
+		return "", fmt.Errorf("core: systems operate in different regimes; a unidimensional claim would be unfair (Principle 4 does not apply)")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassifyRegime(t *testing.T) {
+	p := DefaultPlane()
+	cases := []struct {
+		name string
+		a, b Point
+		want Regime
+	}{
+		{"same cost (Fig 1a)", gp(15, 50), gp(10, 50), SameCost},
+		{"same perf (Fig 1b)", gp(100, 40), gp(100, 80), SamePerf},
+		{"same both", gp(10, 50), gp(10, 50), SameBoth},
+		{"different", gp(20, 70), gp(10, 50), DifferentRegime},
+		{"cost within 2% tolerance", gp(15, 50.6), gp(10, 50), SameCost},
+		{"cost beyond tolerance", gp(15, 55), gp(10, 50), DifferentRegime},
+	}
+	for _, c := range cases {
+		got, err := ClassifyRegime(p, c.a, c.b, DefaultTolerance)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: regime = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRegimeUnidimensional(t *testing.T) {
+	if DifferentRegime.Unidimensional() {
+		t.Error("different regime is not unidimensional")
+	}
+	for _, r := range []Regime{SameCost, SamePerf, SameBoth} {
+		if !r.Unidimensional() {
+			t.Errorf("%v should be unidimensional", r)
+		}
+	}
+}
+
+func TestUnidimensionalClaimSameCost(t *testing.T) {
+	// §4.1: "the proposed system improves throughput with a single core
+	// from 10Gbps to 15Gbps" — same cost, compare performance.
+	p := DefaultPlane()
+	claim, err := UnidimensionalClaim(p, gp(15, 50), gp(10, 50), DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"equal cost", "improves", "10 Gb/s", "15 Gb/s"} {
+		if !strings.Contains(claim, frag) {
+			t.Errorf("claim %q missing %q", claim, frag)
+		}
+	}
+}
+
+func TestUnidimensionalClaimSamePerf(t *testing.T) {
+	// §4.1: "reduces the number of cores required to saturate a 100Gbps
+	// link from 8 to 4" — same performance, compare cost. We express it
+	// in the power plane: saturating 100 Gb/s at 40 W instead of 80 W.
+	p := DefaultPlane()
+	claim, err := UnidimensionalClaim(p, gp(100, 40), gp(100, 80), DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"equal performance", "reduces", "80 W", "40 W"} {
+		if !strings.Contains(claim, frag) {
+			t.Errorf("claim %q missing %q", claim, frag)
+		}
+	}
+}
+
+func TestUnidimensionalClaimDegrades(t *testing.T) {
+	p := DefaultPlane()
+	claim, err := UnidimensionalClaim(p, gp(8, 50), gp(10, 50), DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(claim, "degrades") {
+		t.Errorf("claim %q should admit the degradation", claim)
+	}
+	claim, err = UnidimensionalClaim(p, gp(100, 90), gp(100, 80), DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(claim, "increases") {
+		t.Errorf("claim %q should admit the cost increase", claim)
+	}
+}
+
+func TestUnidimensionalClaimRefusedAcrossRegimes(t *testing.T) {
+	// The paper's core complaint: claiming superiority across regimes
+	// ("X on 8 cores + SmartNIC beats Y on 8 cores") is unfair. The
+	// claim constructor must refuse.
+	p := DefaultPlane()
+	_, err := UnidimensionalClaim(p, gp(20, 70), gp(10, 50), DefaultTolerance)
+	if err == nil {
+		t.Fatal("unidimensional claim across different regimes must be refused")
+	}
+	if !strings.Contains(err.Error(), "Principle 4") {
+		t.Errorf("refusal should cite Principle 4: %v", err)
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if SameCost.String() != "same-cost" || DifferentRegime.String() != "different-regime" {
+		t.Error("regime names wrong")
+	}
+}

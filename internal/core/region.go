@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RegionClass places a candidate point relative to a reference system's
+// comparison region (paper Figure 2). The comparison region of a design
+// comprises all designs that Pareto-dominate it or are dominated by it;
+// only inside the region can an objective superiority claim be made.
+type RegionClass int
+
+const (
+	// OutsideCheaperWorse: the candidate has better cost but worse
+	// performance — outside the region (lower-left "?" of Figure 2).
+	OutsideCheaperWorse RegionClass = iota
+	// OutsideFasterCostlier: better performance but worse cost —
+	// outside the region (upper-right "?" of Figure 2).
+	OutsideFasterCostlier
+	// InRegionDominates: the candidate Pareto-dominates the reference
+	// (B ≻ A in Figure 2).
+	InRegionDominates
+	// InRegionDominated: the candidate is dominated by the reference
+	// (A ≻ B in Figure 2).
+	InRegionDominated
+	// InRegionEqual: coincides with the reference within tolerance.
+	InRegionEqual
+)
+
+// String names the class.
+func (c RegionClass) String() string {
+	switch c {
+	case InRegionDominates:
+		return "in-region:dominates"
+	case InRegionDominated:
+		return "in-region:dominated"
+	case InRegionEqual:
+		return "in-region:equal"
+	case OutsideCheaperWorse:
+		return "outside:cheaper-but-worse"
+	case OutsideFasterCostlier:
+		return "outside:faster-but-costlier"
+	default:
+		return fmt.Sprintf("RegionClass(%d)", int(c))
+	}
+}
+
+// InRegion reports whether the class is inside the comparison region,
+// i.e. an objective superiority (or equality) claim is possible.
+func (c RegionClass) InRegion() bool {
+	switch c {
+	case InRegionDominates, InRegionDominated, InRegionEqual:
+		return true
+	default:
+		return false
+	}
+}
+
+// Region is the comparison region of a reference point (the proposed
+// system A in Figure 2).
+type Region struct {
+	Plane     Plane
+	Reference Point
+	Tol       float64
+}
+
+// NewRegion builds the comparison region of reference in plane p with
+// tolerance tol (use DefaultTolerance).
+func NewRegion(p Plane, reference Point, tol float64) (Region, error) {
+	if err := reference.Validate(p); err != nil {
+		return Region{}, err
+	}
+	if tol < 0 {
+		return Region{}, fmt.Errorf("core: negative tolerance %v", tol)
+	}
+	return Region{Plane: p, Reference: reference, Tol: tol}, nil
+}
+
+// Classify places candidate relative to the region.
+func (r Region) Classify(candidate Point) (RegionClass, error) {
+	rel, err := Compare(r.Plane, candidate, r.Reference, r.Tol)
+	if err != nil {
+		return OutsideCheaperWorse, err
+	}
+	switch rel {
+	case Dominates:
+		return InRegionDominates, nil
+	case DominatedBy:
+		return InRegionDominated, nil
+	case Equal:
+		return InRegionEqual, nil
+	}
+	// Incomparable: decide which "?" quadrant.
+	if r.Plane.Perf.Better(candidate.Perf.Canonical(), r.Reference.Perf.Canonical()) {
+		return OutsideFasterCostlier, nil
+	}
+	return OutsideCheaperWorse, nil
+}
+
+// Contains reports whether candidate lies inside the comparison region.
+func (r Region) Contains(candidate Point) (bool, error) {
+	c, err := r.Classify(candidate)
+	if err != nil {
+		return false, err
+	}
+	return c.InRegion(), nil
+}
+
+// Frontier returns the Pareto-optimal subset of points in plane p:
+// those not dominated by any other point. Ties (Equal) are all kept.
+// The result preserves input order. Frontier generalises the paper's
+// two-system comparisons to evaluations with many alternatives.
+func Frontier(p Plane, points []Point, tol float64) ([]Point, error) {
+	var out []Point
+	for i, a := range points {
+		dominated := false
+		for j, b := range points {
+			if i == j {
+				continue
+			}
+			rel, err := Compare(p, a, b, tol)
+			if err != nil {
+				return nil, err
+			}
+			if rel == DominatedBy {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// SortByCost orders points by ascending canonical cost (useful for
+// rendering frontiers). It does not modify its input.
+func SortByCost(points []Point) []Point {
+	out := make([]Point, len(points))
+	copy(out, points)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Cost.Canonical() < out[j].Cost.Canonical()
+	})
+	return out
+}

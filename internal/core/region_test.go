@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRegionClassifyFigure2(t *testing.T) {
+	// Figure 2: the comparison region of proposed system A. Points that
+	// dominate A or are dominated by A are in the region; the other two
+	// quadrants are the "?" zones.
+	p := DefaultPlane()
+	a := gp(50, 100)
+	region, err := NewRegion(p, a, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		candidate Point
+		want      RegionClass
+	}{
+		{"B dominates A (up-left)", gp(80, 60), InRegionDominates},
+		{"B dominated by A (down-right)", gp(30, 150), InRegionDominated},
+		{"B equals A", gp(50, 100), InRegionEqual},
+		{"B faster but costlier (up-right ?)", gp(80, 150), OutsideFasterCostlier},
+		{"B cheaper but slower (down-left ?)", gp(30, 60), OutsideCheaperWorse},
+		{"B same cost, faster: in region", gp(80, 100), InRegionDominates},
+		{"B same perf, cheaper: in region", gp(50, 60), InRegionDominates},
+	}
+	for _, c := range cases {
+		got, err := region.Classify(c.candidate)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: Classify(%s) = %v, want %v", c.name, c.candidate, got, c.want)
+		}
+		inRegion, err := region.Contains(c.candidate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inRegion != c.want.InRegion() {
+			t.Errorf("%s: Contains = %v, class %v", c.name, inRegion, got)
+		}
+	}
+}
+
+func TestRegionValidation(t *testing.T) {
+	p := DefaultPlane()
+	if _, err := NewRegion(p, lp(5, 100), DefaultTolerance); err == nil {
+		t.Error("latency point on throughput plane should fail")
+	}
+	if _, err := NewRegion(p, gp(1, 1), -0.1); err == nil {
+		t.Error("negative tolerance should fail")
+	}
+}
+
+func TestRegionClassStrings(t *testing.T) {
+	if InRegionDominates.String() != "in-region:dominates" {
+		t.Errorf("got %q", InRegionDominates.String())
+	}
+	if OutsideCheaperWorse.InRegion() || OutsideFasterCostlier.InRegion() {
+		t.Error("outside classes must report InRegion() == false")
+	}
+}
+
+func TestFrontierSimple(t *testing.T) {
+	p := DefaultPlane()
+	pts := []Point{
+		gp(10, 50),  // on frontier
+		gp(20, 100), // on frontier
+		gp(15, 120), // dominated by (20,100)
+		gp(30, 200), // on frontier
+		gp(9, 60),   // dominated by (10,50)
+	}
+	front, err := Frontier(p, pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) != 3 {
+		t.Fatalf("frontier size = %d, want 3: %v", len(front), front)
+	}
+	want := []Point{gp(10, 50), gp(20, 100), gp(30, 200)}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Errorf("front[%d] = %s, want %s", i, front[i], want[i])
+		}
+	}
+}
+
+func TestFrontierProperties(t *testing.T) {
+	// Properties: every input point is dominated by (or equal to) some
+	// frontier point; no frontier point dominates another.
+	p := DefaultPlane()
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(30) + 1
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = gp(float64(r.Intn(100)+1), float64(r.Intn(100)+1))
+		}
+		front, err := Frontier(p, pts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(front) == 0 {
+			t.Fatal("frontier of nonempty set cannot be empty")
+		}
+		for _, a := range pts {
+			covered := false
+			for _, f := range front {
+				rel, _ := Compare(p, f, a, 0)
+				if rel == Dominates || rel == Equal {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("point %s not covered by frontier %v", a, front)
+			}
+		}
+		for i, a := range front {
+			for j, b := range front {
+				if i == j {
+					continue
+				}
+				rel, _ := Compare(p, a, b, 0)
+				if rel == Dominates {
+					t.Fatalf("frontier point %s dominates frontier point %s", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	front, err := Frontier(DefaultPlane(), nil, 0)
+	if err != nil || front != nil {
+		t.Errorf("empty frontier = %v, %v", front, err)
+	}
+}
+
+func TestFrontierLatencyPlane(t *testing.T) {
+	// Lower-is-better perf axis: frontier must prefer *low* latency.
+	p := LatencyPlane()
+	pts := []Point{lp(5, 200), lp(8, 100), lp(10, 300)}
+	front, err := Frontier(p, pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (10,300) is dominated by (8,100); the other two are incomparable.
+	if len(front) != 2 {
+		t.Fatalf("frontier = %v, want 2 points", front)
+	}
+	for _, f := range front {
+		if f == lp(10, 300) {
+			t.Error("dominated point on frontier")
+		}
+	}
+}

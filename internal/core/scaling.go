@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scaling errors. They encode the pitfalls of §4.2.1: ideal scalability
+// may only be assumed for the baseline, only for scalable systems, and
+// only for scalable metrics.
+var (
+	// ErrNotScalableSystem: the system cannot be horizontally scaled.
+	ErrNotScalableSystem = errors.New("core: system is not scalable")
+	// ErrNotScalableMetric: the metric does not scale when the system
+	// scales (latency, JFI — §4.3).
+	ErrNotScalableMetric = errors.New("core: metric is not scalable")
+	// ErrScaleProposed: ideal scalability was requested for the
+	// proposed system. "One can only assume ideal scalability for the
+	// baseline and not for the proposed system, as assuming ideal
+	// scalability for the proposed system is no longer being generous
+	// to the baseline" (§4.2.1).
+	ErrScaleProposed = errors.New("core: refusing to ideally scale the proposed system; only the baseline may be ideally scaled")
+)
+
+// ScaleLinear returns the point reached by ideally (linearly) scaling pt
+// by factor k > 0: both performance and cost multiply by k. This is the
+// generous upper bound of Figure 3's "Ideal Scaling" line.
+//
+// It returns an error if either axis metric is non-scalable — scaling
+// latency by provisioning more hosts is meaningless (§4.3 footnote 4) —
+// or if k is not positive.
+func ScaleLinear(p Plane, pt Point, k float64) (Point, error) {
+	if k <= 0 {
+		return Point{}, fmt.Errorf("core: scale factor %v must be positive", k)
+	}
+	if !p.Perf.Metric.Scalable {
+		return Point{}, fmt.Errorf("%w: %s", ErrNotScalableMetric, p.Perf.Metric.Name)
+	}
+	if !p.Cost.Metric.Scalable {
+		return Point{}, fmt.Errorf("%w: %s", ErrNotScalableMetric, p.Cost.Metric.Name)
+	}
+	return Point{Perf: pt.Perf.Scale(k), Cost: pt.Cost.Scale(k)}, nil
+}
+
+// ScaleToPerf ideally scales base until its performance matches
+// targetPerf (the factor may be below 1 for downscaling). It returns
+// the scaled point and the factor used.
+func ScaleToPerf(p Plane, base Point, target Point) (Point, float64, error) {
+	k, err := target.Perf.Ratio(base.Perf)
+	if err != nil {
+		return Point{}, 0, err
+	}
+	scaled, err := ScaleLinear(p, base, k)
+	return scaled, k, err
+}
+
+// ScaleToCost ideally scales base until its cost matches target's cost.
+func ScaleToCost(p Plane, base Point, target Point) (Point, float64, error) {
+	k, err := target.Cost.Ratio(base.Cost)
+	if err != nil {
+		return Point{}, 0, err
+	}
+	scaled, err := ScaleLinear(p, base, k)
+	return scaled, k, err
+}
+
+// ScalingResult captures the Figure 3 construction: the baseline scaled
+// into the proposed system's comparison region along both intercepts —
+// matching the proposed system's performance and matching its cost —
+// together with the relations that result.
+type ScalingResult struct {
+	// Factor* are the linear scale factors applied to the baseline.
+	FactorAtPerf float64
+	FactorAtCost float64
+	// AtMatchedPerf is the baseline scaled to the proposed system's
+	// performance (the paper's "100Gbps at 286W" construction).
+	AtMatchedPerf Point
+	// AtMatchedCost is the baseline scaled to the proposed system's
+	// cost (the paper's "70Gbps at 200W").
+	AtMatchedCost Point
+	// RelAtMatchedPerf is proposed vs the perf-matched baseline
+	// (compares costs).
+	RelAtMatchedPerf Relation
+	// RelAtMatchedCost is proposed vs the cost-matched baseline
+	// (compares performance).
+	RelAtMatchedCost Relation
+}
+
+// ProposedWins reports whether the proposed system strictly improves on
+// the ideally scaled baseline: it dominates at one intercept and at
+// least matches at the other. Because the scaling is linear, the two
+// intercept comparisons agree except within tolerance of the boundary.
+func (s ScalingResult) ProposedWins() bool {
+	winAt := func(r Relation) bool { return r == Dominates || r == Equal }
+	return winAt(s.RelAtMatchedPerf) && winAt(s.RelAtMatchedCost) &&
+		(s.RelAtMatchedPerf == Dominates || s.RelAtMatchedCost == Dominates)
+}
+
+// BaselineWins reports the symmetric case: the ideally scaled baseline
+// strictly improves on the proposed system.
+func (s ScalingResult) BaselineWins() bool {
+	loseAt := func(r Relation) bool { return r == DominatedBy || r == Equal }
+	return loseAt(s.RelAtMatchedPerf) && loseAt(s.RelAtMatchedCost) &&
+		(s.RelAtMatchedPerf == DominatedBy || s.RelAtMatchedCost == DominatedBy)
+}
+
+// ScaleBaselineIntoRegion performs the Principle 5/6 construction:
+// ideally scale the baseline to the proposed system's comparison
+// region and compare there. Roles matter — the first argument is the
+// proposed system and is never scaled (attempting the reverse is the
+// §4.2.1 pitfall guarded by ScaleProposedGuard).
+func ScaleBaselineIntoRegion(p Plane, proposed, baseline Point, tol float64) (ScalingResult, error) {
+	if err := proposed.Validate(p); err != nil {
+		return ScalingResult{}, fmt.Errorf("core: proposed: %w", err)
+	}
+	if err := baseline.Validate(p); err != nil {
+		return ScalingResult{}, fmt.Errorf("core: baseline: %w", err)
+	}
+	if baseline.Perf.Canonical() == 0 || baseline.Cost.Canonical() == 0 {
+		return ScalingResult{}, fmt.Errorf("core: cannot scale a baseline with zero performance or cost: %s", baseline)
+	}
+
+	var res ScalingResult
+	var err error
+	res.AtMatchedPerf, res.FactorAtPerf, err = ScaleToPerf(p, baseline, proposed)
+	if err != nil {
+		return ScalingResult{}, err
+	}
+	res.AtMatchedCost, res.FactorAtCost, err = ScaleToCost(p, baseline, proposed)
+	if err != nil {
+		return ScalingResult{}, err
+	}
+	res.RelAtMatchedPerf, err = Compare(p, proposed, res.AtMatchedPerf, tol)
+	if err != nil {
+		return ScalingResult{}, err
+	}
+	res.RelAtMatchedCost, err = Compare(p, proposed, res.AtMatchedCost, tol)
+	if err != nil {
+		return ScalingResult{}, err
+	}
+	return res, nil
+}
+
+// ScaleProposedGuard returns ErrScaleProposed. Callers that expose
+// scaling to users should invoke it when the user asks to scale the
+// proposed system, so the refusal carries the paper's rationale.
+func ScaleProposedGuard() error { return ErrScaleProposed }
+
+// CoverageWarning checks the second §4.2.1 pitfall: "if the baseline
+// system originally does not use all CPU cores in the host, linearly
+// scaling it using the cost of the entire server is no longer generous."
+// utilizedFraction is the fraction of the costed hardware the baseline
+// actually uses (1 = fully used). A non-empty string is a warning to
+// attach to the evaluation.
+func CoverageWarning(systemName string, utilizedFraction float64) string {
+	if utilizedFraction >= 1 || utilizedFraction <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(
+		"baseline %q uses only %.0f%% of the hardware included in its cost; linearly scaling with the full cost is not generous — scale within the host first (§4.2.1 pitfall 2)",
+		systemName, utilizedFraction*100)
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaleLinearBasic(t *testing.T) {
+	p := DefaultPlane()
+	scaled, err := ScaleLinear(p, gp(35, 100), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Perf.Value != 70 || scaled.Cost.Value != 200 {
+		t.Errorf("scaled = %s, want (70 Gb/s, 200 W)", scaled)
+	}
+}
+
+func TestScaleLinearRejectsNonPositive(t *testing.T) {
+	p := DefaultPlane()
+	for _, k := range []float64{0, -1} {
+		if _, err := ScaleLinear(p, gp(35, 100), k); err == nil {
+			t.Errorf("ScaleLinear with k=%v should fail", k)
+		}
+	}
+}
+
+func TestScaleLinearRejectsNonScalableMetric(t *testing.T) {
+	// §4.3: latency does not scale; assuming it does is the third
+	// §4.2.1 pitfall.
+	p := LatencyPlane()
+	_, err := ScaleLinear(p, lp(8, 100), 2)
+	if !errors.Is(err, ErrNotScalableMetric) {
+		t.Fatalf("scaling latency: err = %v, want ErrNotScalableMetric", err)
+	}
+}
+
+func TestScaleToIntercepts(t *testing.T) {
+	// The §4.2.1 worked example: baseline 35 Gb/s @ 100 W; proposed
+	// 100 Gb/s @ 200 W. Ideal scaling gives "70Gbps at 200W or 100Gbps
+	// at 286W".
+	p := DefaultPlane()
+	baseline, proposed := gp(35, 100), gp(100, 200)
+
+	atPerf, k1, err := ScaleToPerf(p, baseline, proposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k1-100.0/35.0) > 1e-12 {
+		t.Errorf("perf-match factor = %v, want 100/35", k1)
+	}
+	if math.Abs(atPerf.Perf.Value-100) > 1e-9 || math.Abs(atPerf.Cost.Value-285.714285714) > 1e-6 {
+		t.Errorf("at matched perf = %s, want (100 Gb/s, ≈285.71 W)", atPerf)
+	}
+
+	atCost, k2, err := ScaleToCost(p, baseline, proposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k2-2) > 1e-12 {
+		t.Errorf("cost-match factor = %v, want 2", k2)
+	}
+	if math.Abs(atCost.Perf.Value-70) > 1e-9 || math.Abs(atCost.Cost.Value-200) > 1e-9 {
+		t.Errorf("at matched cost = %s, want (70 Gb/s, 200 W)", atCost)
+	}
+}
+
+func TestScaleBaselineIntoRegionPaperExample(t *testing.T) {
+	// Figure 3 / §4.2.1: after ideal scaling, the proposed system
+	// dominates the scaled baseline at both intercepts (A ≻ B).
+	p := DefaultPlane()
+	res, err := ScaleBaselineIntoRegion(p, gp(100, 200), gp(35, 100), DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelAtMatchedPerf != Dominates {
+		t.Errorf("proposed vs perf-matched baseline (%s) = %v, want Dominates (100Gb/s at 200W vs 286W)",
+			res.AtMatchedPerf, res.RelAtMatchedPerf)
+	}
+	if res.RelAtMatchedCost != Dominates {
+		t.Errorf("proposed vs cost-matched baseline (%s) = %v, want Dominates (100 vs 70 Gb/s at 200W)",
+			res.AtMatchedCost, res.RelAtMatchedCost)
+	}
+	if !res.ProposedWins() {
+		t.Error("ProposedWins should hold for the paper's example")
+	}
+}
+
+func TestScaleBaselineIntoRegionBaselineWins(t *testing.T) {
+	// A baseline with a better perf/cost slope overtakes the proposed
+	// system once ideally scaled: proposed 40 Gb/s @ 200 W vs baseline
+	// 30 Gb/s @ 100 W (slope 0.3 vs 0.2).
+	p := DefaultPlane()
+	res, err := ScaleBaselineIntoRegion(p, gp(40, 200), gp(30, 100), DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelAtMatchedCost != DominatedBy || res.RelAtMatchedPerf != DominatedBy {
+		t.Errorf("relations = %v/%v, want DominatedBy at both intercepts",
+			res.RelAtMatchedCost, res.RelAtMatchedPerf)
+	}
+	if res.ProposedWins() {
+		t.Error("proposed should lose against a steeper baseline")
+	}
+}
+
+func TestScaleBaselineInterceptConsistency(t *testing.T) {
+	// Property: for linear scaling, the two intercept comparisons agree
+	// whenever the proposed point is off the baseline's scaling line by
+	// more than the tolerance.
+	p := DefaultPlane()
+	f := func(bp, bc, pp, pc uint16) bool {
+		baseline := gp(float64(bp%500)+1, float64(bc%500)+1)
+		proposed := gp(float64(pp%500)+1, float64(pc%500)+1)
+		slopeB := baseline.Perf.Canonical() / baseline.Cost.Canonical()
+		slopeP := proposed.Perf.Canonical() / proposed.Cost.Canonical()
+		if math.Abs(slopeB-slopeP) <= 0.1*math.Max(slopeB, slopeP) {
+			return true // near the line: tolerance may split the verdicts
+		}
+		res, err := ScaleBaselineIntoRegion(p, proposed, baseline, DefaultTolerance)
+		if err != nil {
+			return false
+		}
+		return res.RelAtMatchedCost == res.RelAtMatchedPerf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleBaselineZeroBaseline(t *testing.T) {
+	p := DefaultPlane()
+	if _, err := ScaleBaselineIntoRegion(p, gp(10, 10), gp(0, 100), 0); err == nil {
+		t.Error("zero-performance baseline cannot be scaled")
+	}
+	if _, err := ScaleBaselineIntoRegion(p, gp(10, 10), gp(10, 0), 0); err == nil {
+		t.Error("zero-cost baseline cannot be scaled")
+	}
+}
+
+func TestScaleProposedGuard(t *testing.T) {
+	// §4.2.1 pitfall 1: never ideally scale the proposed system.
+	err := ScaleProposedGuard()
+	if !errors.Is(err, ErrScaleProposed) {
+		t.Fatalf("guard = %v", err)
+	}
+	if !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("guard message should explain the baseline-only rule: %v", err)
+	}
+}
+
+func TestCoverageWarning(t *testing.T) {
+	// §4.2.1 pitfall 2: scaling with whole-server cost while using part
+	// of the server.
+	if w := CoverageWarning("baseline", 1); w != "" {
+		t.Errorf("fully utilized baseline should not warn: %q", w)
+	}
+	if w := CoverageWarning("baseline", 0); w != "" {
+		t.Errorf("unknown utilization should not warn: %q", w)
+	}
+	w := CoverageWarning("baseline", 0.5)
+	if w == "" || !strings.Contains(w, "50%") || !strings.Contains(w, "not generous") {
+		t.Errorf("half-utilized baseline warning = %q", w)
+	}
+}
+
+func TestScalingMonotoneProperty(t *testing.T) {
+	// Property: scaling with larger k yields more performance and more
+	// cost (monotonicity of the ideal-scaling line).
+	p := DefaultPlane()
+	f := func(perfRaw, costRaw, k1Raw, k2Raw uint16) bool {
+		base := gp(float64(perfRaw%100)+1, float64(costRaw%100)+1)
+		k1 := float64(k1Raw%50) + 1
+		k2 := k1 + float64(k2Raw%50) + 1
+		s1, err1 := ScaleLinear(p, base, k1)
+		s2, err2 := ScaleLinear(p, base, k2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s2.Perf.Canonical() > s1.Perf.Canonical() && s2.Cost.Canonical() > s1.Cost.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDownscalingAllowed(t *testing.T) {
+	// Scaling down (k < 1) is legitimate for cost targets below the
+	// baseline's (§4.3 discusses downscaling limits for systems, but
+	// the linear model itself admits k<1).
+	p := DefaultPlane()
+	scaled, k, err := ScaleToCost(p, gp(35, 100), gp(10, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0.5 || scaled.Perf.Value != 17.5 {
+		t.Errorf("downscale: k=%v scaled=%s", k, scaled)
+	}
+}

@@ -1,0 +1,88 @@
+package cost
+
+import "fmt"
+
+// Rank inversion: the paper traces the "many heated debates ... about
+// the value of specialized hardware" to TCO's context dependence
+// (§3.1, footnote 2) — two organisations computing TCO for the same
+// pair of systems can reach opposite orderings. This file makes that
+// concrete: sweep a grid of deployment contexts and detect whether the
+// cheaper system flips.
+
+// RankPoint is the TCO ordering of two systems under one context.
+type RankPoint struct {
+	Context  Context
+	TCOFirst float64 // TCO of the first system
+	TCOOther float64 // TCO of the second system
+	// FirstCheaper reports whether the first system wins under this
+	// context.
+	FirstCheaper bool
+}
+
+// InversionResult summarises a context sweep.
+type InversionResult struct {
+	Points []RankPoint
+	// Inverted reports whether both orderings occur across the sweep —
+	// the demonstration that raw TCO comparisons do not transfer
+	// between contexts.
+	Inverted bool
+	// FirstWins and OtherWins count contexts per ordering.
+	FirstWins, OtherWins int
+}
+
+// SweepContexts computes the TCO ordering of two systems across the
+// given contexts.
+func SweepContexts(m PricingModel, first, other BillOfMaterials, contexts []Context) (InversionResult, error) {
+	if len(contexts) == 0 {
+		return InversionResult{}, fmt.Errorf("cost: context sweep needs contexts")
+	}
+	var res InversionResult
+	for _, ctx := range contexts {
+		a, err := m.TCO(first, ctx)
+		if err != nil {
+			return res, fmt.Errorf("cost: TCO of %q under %q: %w", first.System, ctx.Name, err)
+		}
+		b, err := m.TCO(other, ctx)
+		if err != nil {
+			return res, fmt.Errorf("cost: TCO of %q under %q: %w", other.System, ctx.Name, err)
+		}
+		p := RankPoint{Context: ctx, TCOFirst: a.TotalUSD, TCOOther: b.TotalUSD, FirstCheaper: a.TotalUSD < b.TotalUSD}
+		if p.FirstCheaper {
+			res.FirstWins++
+		} else {
+			res.OtherWins++
+		}
+		res.Points = append(res.Points, p)
+	}
+	res.Inverted = res.FirstWins > 0 && res.OtherWins > 0
+	return res, nil
+}
+
+// ContextGrid builds a grid of plausible deployment contexts spanning
+// energy prices, rack rents, PUE and purchasing power — the axes the
+// paper names as sources of TCO variation (§1, §3.1).
+func ContextGrid() []Context {
+	var out []Context
+	energies := []float64{0.05, 0.15, 0.30}
+	racks := []float64{150, 800, 2000}
+	pues := []float64{1.1, 1.6}
+	discounts := []float64{0, 0.35}
+	for _, e := range energies {
+		for _, r := range racks {
+			for _, p := range pues {
+				for _, d := range discounts {
+					out = append(out, Context{
+						Name:                fmt.Sprintf("e%.2f-r%.0f-p%.1f-d%.0f%%", e, r, p, d*100),
+						EnergyUSDPerKWh:     e,
+						RackUSDPerUnitYear:  r,
+						PUE:                 p,
+						HardwareDiscount:    d,
+						OpsUSDPerDeviceYear: 200,
+						CarbonKgPerKWh:      0.3,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

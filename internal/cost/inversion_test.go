@@ -1,0 +1,89 @@
+package cost
+
+import "testing"
+
+// Two systems designed to invert: one hardware-heavy but frugal
+// (accelerator card), one cheap to buy but power- and space-hungry
+// (extra commodity servers).
+func inversionPair() (BillOfMaterials, BillOfMaterials) {
+	accel := BillOfMaterials{
+		System: "accelerated",
+		Items: []BOMItem{
+			{Device: "server", Count: 1, ListPriceUSD: 6000, PowerWatts: 200, RackUnits: 1},
+			{Device: "accelerator", Count: 1, ListPriceUSD: 11000, PowerWatts: 60, RackUnits: 0},
+		},
+	}
+	scaleOut := BillOfMaterials{
+		System: "scale-out",
+		Items: []BOMItem{
+			{Device: "server", Count: 4, ListPriceUSD: 1800, PowerWatts: 350, RackUnits: 2},
+		},
+	}
+	return accel, scaleOut
+}
+
+func TestSweepContextsInverts(t *testing.T) {
+	accel, scaleOut := inversionPair()
+	res, err := SweepContexts(DefaultPricingModel, accel, scaleOut, ContextGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Inverted {
+		t.Fatalf("sweep should demonstrate rank inversion: firstWins=%d otherWins=%d",
+			res.FirstWins, res.OtherWins)
+	}
+	if res.FirstWins+res.OtherWins != len(res.Points) {
+		t.Error("win counts must partition the sweep")
+	}
+	// Sanity: in the cheapest-energy/cheapest-rack context the
+	// scale-out option should be competitive; in the priciest context
+	// the accelerator (less power, less space) should win.
+	var cheapCtx, priceyCtx *RankPoint
+	for i := range res.Points {
+		switch res.Points[i].Context.Name {
+		case "e0.05-r150-p1.1-d35%":
+			cheapCtx = &res.Points[i]
+		case "e0.30-r2000-p1.6-d0%":
+			priceyCtx = &res.Points[i]
+		}
+	}
+	if cheapCtx == nil || priceyCtx == nil {
+		t.Fatal("expected grid contexts missing")
+	}
+	if cheapCtx.FirstCheaper {
+		t.Errorf("cheap context: accelerated (%v) should lose to scale-out (%v)",
+			cheapCtx.TCOFirst, cheapCtx.TCOOther)
+	}
+	if !priceyCtx.FirstCheaper {
+		t.Errorf("pricey context: accelerated (%v) should beat scale-out (%v)",
+			priceyCtx.TCOFirst, priceyCtx.TCOOther)
+	}
+}
+
+func TestSweepContextsValidation(t *testing.T) {
+	a, b := inversionPair()
+	if _, err := SweepContexts(DefaultPricingModel, a, b, nil); err == nil {
+		t.Error("empty context list should fail")
+	}
+	bad := []Context{{Name: "bad", PUE: 0.2}}
+	if _, err := SweepContexts(DefaultPricingModel, a, b, bad); err == nil {
+		t.Error("invalid context should fail")
+	}
+}
+
+func TestContextGridShape(t *testing.T) {
+	grid := ContextGrid()
+	if len(grid) != 3*3*2*2 {
+		t.Fatalf("grid size = %d", len(grid))
+	}
+	seen := map[string]bool{}
+	for _, c := range grid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("grid context %q invalid: %v", c.Name, err)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate context name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}

@@ -1,0 +1,185 @@
+// Package cost implements the cost side of fair heterogeneous-systems
+// evaluation: per-component cost vectors, end-to-end composition with
+// coverage checking (paper Principle 3), and releasable pricing models
+// that turn context-dependent TCO into something other researchers can
+// recompute for their own context (paper §3.1).
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairbench/internal/metric"
+)
+
+// ErrNotCovered is returned when a cost metric cannot be measured for a
+// component of a system under evaluation — the end-to-end coverage
+// failure of paper §3.3 (e.g. asking for FPGA LUTs on a CPU-only
+// system, or forgetting the FPGA when counting cores).
+var ErrNotCovered = errors.New("cost: metric does not cover component")
+
+// Vector maps metric names to measured quantities for one component
+// (a CPU, a SmartNIC, a switch, ...). A nil Vector is an empty vector.
+type Vector map[string]metric.Quantity
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, q := range v {
+		out[k] = q
+	}
+	return out
+}
+
+// Get returns the quantity for a metric name.
+func (v Vector) Get(name string) (metric.Quantity, bool) {
+	q, ok := v[name]
+	return q, ok
+}
+
+// Set records a quantity for a metric name, replacing any previous one.
+func (v Vector) Set(name string, q metric.Quantity) { v[name] = q }
+
+// Metrics returns the metric names present, sorted.
+func (v Vector) Metrics() []string {
+	names := make([]string, 0, len(v))
+	for k := range v {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Add returns the metric-wise sum of two vectors over the union of their
+// metrics. Missing entries are treated as absent, not zero: a metric
+// present in only one operand appears in the result tagged as partial
+// via the returned partial set. Callers that need end-to-end coverage
+// should use Compose instead, which makes missing entries an error.
+func (v Vector) Add(o Vector) (sum Vector, partial map[string]bool, err error) {
+	sum = make(Vector)
+	partial = make(map[string]bool)
+	for k, q := range v {
+		if oq, ok := o[k]; ok {
+			s, aerr := q.Add(oq)
+			if aerr != nil {
+				return nil, nil, fmt.Errorf("cost: adding metric %q: %w", k, aerr)
+			}
+			sum[k] = s
+		} else {
+			sum[k] = q
+			partial[k] = true
+		}
+	}
+	for k, q := range o {
+		if _, ok := v[k]; !ok {
+			sum[k] = q
+			partial[k] = true
+		}
+	}
+	return sum, partial, nil
+}
+
+// Scale returns the vector with every quantity multiplied by k. This is
+// the cost side of ideal linear scaling (paper §4.2.1).
+func (v Vector) Scale(k float64) Vector {
+	out := make(Vector, len(v))
+	for name, q := range v {
+		out[name] = q.Scale(k)
+	}
+	return out
+}
+
+// Component is a named part of a system together with its cost vector.
+// End-to-end coverage (Principle 3) demands that "all components of the
+// systems that are needed to produce the output are captured in the
+// cost".
+type Component struct {
+	// Name identifies the component, e.g. "host-cpu", "smartnic".
+	Name string
+	// Costs holds the component's measured cost metrics.
+	Costs Vector
+}
+
+// Compose sums metric name across all components, enforcing end-to-end
+// coverage: every component must report the metric, otherwise
+// ErrNotCovered is returned naming the offending component. This is the
+// programmatic form of Principle 3.
+func Compose(name string, components []Component) (metric.Quantity, error) {
+	if len(components) == 0 {
+		return metric.Quantity{}, fmt.Errorf("cost: composing %q over no components", name)
+	}
+	var total metric.Quantity
+	for i, c := range components {
+		q, ok := c.Costs[name]
+		if !ok {
+			return metric.Quantity{}, fmt.Errorf("%w: metric %q missing on component %q", ErrNotCovered, name, c.Name)
+		}
+		if i == 0 {
+			total = q
+			continue
+		}
+		sum, err := total.Add(q)
+		if err != nil {
+			return metric.Quantity{}, fmt.Errorf("cost: composing %q at component %q: %w", name, c.Name, err)
+		}
+		total = sum
+	}
+	return total, nil
+}
+
+// Coverage reports which of the named metrics have end-to-end coverage
+// over the components: covered[name] is true exactly when every
+// component reports the metric. It is the planning companion to
+// Compose — use it to pick a cost metric that can actually be reported
+// for all systems in an evaluation (paper §3.3).
+func Coverage(names []string, components []Component) map[string]bool {
+	covered := make(map[string]bool, len(names))
+	for _, n := range names {
+		ok := len(components) > 0
+		for _, c := range components {
+			if _, present := c.Costs[n]; !present {
+				ok = false
+				break
+			}
+		}
+		covered[n] = ok
+	}
+	return covered
+}
+
+// CommonMetrics returns the metric names reported by every one of the
+// given component lists (one list per system under comparison), sorted.
+// These are the candidate end-to-end cost metrics for the evaluation.
+func CommonMetrics(systems ...[]Component) []string {
+	counts := make(map[string]int)
+	for _, comps := range systems {
+		cov := make(map[string]bool)
+		for _, c := range comps {
+			for name := range c.Costs {
+				cov[name] = true
+			}
+		}
+		// The metric must cover every component, not just appear once.
+		for name := range cov {
+			all := true
+			for _, c := range comps {
+				if _, ok := c.Costs[name]; !ok {
+					all = false
+					break
+				}
+			}
+			if all {
+				counts[name]++
+			}
+		}
+	}
+	var out []string
+	for name, n := range counts {
+		if n == len(systems) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

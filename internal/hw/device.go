@@ -1,0 +1,75 @@
+// Package hw models the heterogeneous hardware devices of the paper's
+// examples — CPU cores, regular NICs, SmartNICs, programmable switches
+// and FPGAs — as discrete-event queueing servers with power models and
+// cost vectors.
+//
+// This package is the simulated substitute for the physical testbeds the
+// paper's examples presume (see DESIGN.md, "Substitutions"). Each device
+// model exposes:
+//
+//   - processing behaviour (service times, queues, drops) driven by the
+//     cycle costs reported by internal/nf, so performance emerges from
+//     executing code;
+//   - a power model (idle/active split, integrated to energy over
+//     simulated time), power being the paper's exemplar cost metric; and
+//   - a cost vector (power plus device-specific metrics such as cores or
+//     LUTs) feeding the end-to-end coverage machinery in internal/cost.
+package hw
+
+import (
+	"fmt"
+
+	"fairbench/internal/cost"
+	"fairbench/internal/metric"
+	"fairbench/internal/sim"
+)
+
+// Device is a hardware component with a power model and a cost vector.
+type Device interface {
+	// Name identifies the device instance.
+	Name() string
+	// EnergyJoules returns the total energy consumed over [0, end),
+	// integrating idle and active power.
+	EnergyJoules(end sim.Time) float64
+	// MaxPowerWatts returns the device's peak (provisioned) power draw,
+	// the figure a deployment reports as its power cost. Evaluating
+	// provisioned rather than instantaneous power matches how the
+	// paper's examples attribute "50 W" to a configuration.
+	MaxPowerWatts() float64
+	// CostVector returns the device's context-independent cost metrics
+	// (always including power; cores/LUTs where applicable).
+	CostVector() cost.Vector
+}
+
+// AveragePowerWatts computes mean power of a device over [0, end).
+func AveragePowerWatts(d Device, end sim.Time) float64 {
+	if end <= 0 {
+		return 0
+	}
+	return d.EnergyJoules(end) / end.Seconds()
+}
+
+// ComponentsOf converts devices into cost components for end-to-end
+// composition (paper Principle 3).
+func ComponentsOf(devices ...Device) []cost.Component {
+	out := make([]cost.Component, 0, len(devices))
+	for _, d := range devices {
+		out = append(out, cost.Component{Name: d.Name(), Costs: d.CostVector()})
+	}
+	return out
+}
+
+// TotalPowerWatts composes the provisioned power of a set of devices
+// end-to-end; it fails only if a device omits the power metric, which
+// would be a bug (every Device must report power).
+func TotalPowerWatts(devices ...Device) (float64, error) {
+	q, err := cost.Compose(metric.MetricPower, ComponentsOf(devices...))
+	if err != nil {
+		return 0, fmt.Errorf("hw: composing power: %w", err)
+	}
+	w, err := q.Convert(metric.Watt)
+	if err != nil {
+		return 0, err
+	}
+	return w.Value, nil
+}

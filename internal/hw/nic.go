@@ -1,0 +1,188 @@
+package hw
+
+import (
+	"fairbench/internal/cost"
+	"fairbench/internal/metric"
+	"fairbench/internal/packet"
+	"fairbench/internal/sim"
+)
+
+// NIC is a conventional network interface: it delivers packets to host
+// cores (RSS by flow hash) and contributes constant power. It performs
+// no offload.
+type NIC struct {
+	name    string
+	RateBps float64
+	Watts   float64
+	// Delivered counts packets handed to the host.
+	Delivered uint64
+}
+
+// NewNIC builds a NIC with the given line rate and power draw.
+func NewNIC(name string, rateBps, watts float64) *NIC {
+	return &NIC{name: name, RateBps: rateBps, Watts: watts}
+}
+
+// Name implements Device.
+func (n *NIC) Name() string { return n.name }
+
+// EnergyJoules implements Device (constant draw — NIC power varies
+// little with load).
+func (n *NIC) EnergyJoules(end sim.Time) float64 {
+	if end <= 0 {
+		return 0
+	}
+	return n.Watts * end.Seconds()
+}
+
+// MaxPowerWatts implements Device.
+func (n *NIC) MaxPowerWatts() float64 { return n.Watts }
+
+// CostVector implements Device.
+func (n *NIC) CostVector() cost.Vector {
+	return cost.Vector{metric.MetricPower: metric.Q(n.Watts, metric.Watt)}
+}
+
+// RSS picks a core index for a flow by its symmetric hash, the
+// receive-side-scaling dispatch real NICs implement.
+func RSS(ft packet.FiveTuple, nCores int) int {
+	if nCores <= 0 {
+		return 0
+	}
+	return int(ft.FastHash() % uint64(nCores))
+}
+
+// SmartNICConfig parameterises a SmartNIC offload model.
+type SmartNICConfig struct {
+	// CapacityPps is the NIC dataplane's packet rate for offloaded
+	// flows (default 30 Mpps).
+	CapacityPps float64
+	// IdleWatts and ActiveWatts bound the NIC SoC's power (defaults
+	// 12 W and 25 W).
+	IdleWatts, ActiveWatts float64
+	// FlowTableSize caps the offload table; new flows beyond it stay
+	// on the host (default 65536).
+	FlowTableSize int
+	// OffloadLatencySeconds is the fixed fast-path latency (default
+	// 2 µs).
+	OffloadLatencySeconds float64
+}
+
+func (c SmartNICConfig) withDefaults() SmartNICConfig {
+	if c.CapacityPps == 0 {
+		c.CapacityPps = 30e6
+	}
+	if c.IdleWatts == 0 {
+		c.IdleWatts = 12
+	}
+	if c.ActiveWatts == 0 {
+		c.ActiveWatts = 25
+	}
+	if c.FlowTableSize == 0 {
+		c.FlowTableSize = 65536
+	}
+	if c.OffloadLatencySeconds == 0 {
+		c.OffloadLatencySeconds = 2e-6
+	}
+	return c
+}
+
+// SmartNIC models flow-offload acceleration (the §4.2 example): the
+// first packet of each flow goes to the host (slow path), which installs
+// an offload entry; subsequent packets of known flows are handled
+// entirely on the NIC at its dataplane rate. This is the
+// AccelTCP/FlexTOE-style "established flows bypass the host" pattern.
+type SmartNIC struct {
+	name string
+	cfg  SmartNICConfig
+	s    *sim.Sim
+
+	table    map[packet.FiveTuple]bool
+	nextFree sim.Time
+	busy     float64
+	// Offloaded, ToHost and TableMisses count dispatch outcomes.
+	Offloaded, ToHost uint64
+	// Saturated counts fast-path packets that found the NIC dataplane
+	// busy beyond its queue and were punted to the host.
+	Saturated uint64
+}
+
+// NewSmartNIC builds a SmartNIC attached to simulator s.
+func NewSmartNIC(name string, s *sim.Sim, cfg SmartNICConfig) *SmartNIC {
+	return &SmartNIC{name: name, cfg: cfg.withDefaults(), s: s, table: make(map[packet.FiveTuple]bool)}
+}
+
+// Name implements Device.
+func (sn *SmartNIC) Name() string { return sn.name }
+
+// Config returns the effective configuration.
+func (sn *SmartNIC) Config() SmartNICConfig { return sn.cfg }
+
+// FlowTableLen returns the number of installed offload entries.
+func (sn *SmartNIC) FlowTableLen() int { return len(sn.table) }
+
+// Install adds a flow to the offload table (called by the host after
+// slow-path processing). It returns false when the table is full.
+func (sn *SmartNIC) Install(ft packet.FiveTuple) bool {
+	if len(sn.table) >= sn.cfg.FlowTableSize {
+		return false
+	}
+	sn.table[ft] = true
+	return true
+}
+
+// Offload attempts to handle a packet on the NIC fast path. It returns
+// true (and invokes done with the fast-path latency) when the flow is
+// in the table and the dataplane has headroom; false punts the packet
+// to the host.
+func (sn *SmartNIC) Offload(ft packet.FiveTuple, done func(latencySeconds float64)) bool {
+	if !sn.table[ft] {
+		sn.ToHost++
+		return false
+	}
+	now := sn.s.Now()
+	service := 1 / sn.cfg.CapacityPps
+	start := sn.nextFree
+	if start < now {
+		start = now
+	}
+	// A bounded fast-path queue: beyond 64 packets of backlog, punt.
+	if float64(start-now) > 64*service {
+		sn.Saturated++
+		sn.ToHost++
+		return false
+	}
+	finish := start + sim.Time(service)
+	sn.nextFree = finish
+	sn.busy += service
+	sn.Offloaded++
+	latency := float64(finish-now) + sn.cfg.OffloadLatencySeconds
+	if err := sn.s.At(finish, func() {
+		if done != nil {
+			done(latency)
+		}
+	}); err != nil {
+		panic(err)
+	}
+	return true
+}
+
+// EnergyJoules implements Device.
+func (sn *SmartNIC) EnergyJoules(end sim.Time) float64 {
+	if end <= 0 {
+		return 0
+	}
+	busy := sn.busy
+	if busy > end.Seconds() {
+		busy = end.Seconds()
+	}
+	return sn.cfg.IdleWatts*end.Seconds() + (sn.cfg.ActiveWatts-sn.cfg.IdleWatts)*busy
+}
+
+// MaxPowerWatts implements Device.
+func (sn *SmartNIC) MaxPowerWatts() float64 { return sn.cfg.ActiveWatts }
+
+// CostVector implements Device.
+func (sn *SmartNIC) CostVector() cost.Vector {
+	return cost.Vector{metric.MetricPower: metric.Q(sn.cfg.ActiveWatts, metric.Watt)}
+}

@@ -1,0 +1,101 @@
+package measure
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"fairbench/internal/packet"
+)
+
+func TestThroughputMeter(t *testing.T) {
+	var m ThroughputMeter
+	m.Start(0)
+	for i := 0; i < 10; i++ {
+		m.Offer(125) // 1000 bits each
+	}
+	for i := 0; i < 8; i++ {
+		m.Process(125, i < 6) // 6 forwarded, 2 policy drops
+	}
+	m.Lose()
+	m.Lose()
+	m.Stop(1) // 1 second window
+
+	if m.Window() != time.Second {
+		t.Errorf("Window = %v", m.Window())
+	}
+	if got := m.Offered().BitsPerSecond(); got != 10000 {
+		t.Errorf("offered = %v", got)
+	}
+	if got := m.Processed().BitsPerSecond(); got != 8000 {
+		t.Errorf("processed = %v", got)
+	}
+	if got := m.Forwarded().BitsPerSecond(); got != 6000 {
+		t.Errorf("forwarded = %v", got)
+	}
+	if got := m.LossFraction(); got != 0.2 {
+		t.Errorf("loss = %v", got)
+	}
+	if s := m.String(); !strings.Contains(s, "loss 20.000%") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestThroughputMeterEmpty(t *testing.T) {
+	var m ThroughputMeter
+	if m.Window() != 0 || m.LossFraction() != 0 {
+		t.Error("empty meter should be zero")
+	}
+	if m.Processed().BitsPerSecond() != 0 {
+		t.Error("no window, no rate")
+	}
+}
+
+func TestLatencyMeter(t *testing.T) {
+	l := NewLatencyMeter()
+	for i := 1; i <= 100; i++ {
+		if err := l.RecordSeconds(float64(i) * 1e-6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Count() != 100 {
+		t.Errorf("Count = %d", l.Count())
+	}
+	if p50 := l.P50Micros(); math.Abs(p50-50) > 2 {
+		t.Errorf("P50 = %v µs, want ≈50", p50)
+	}
+	if p99 := l.P99Micros(); math.Abs(p99-99) > 3 {
+		t.Errorf("P99 = %v µs, want ≈99", p99)
+	}
+	s := l.Summary()
+	if s.Min != 1000 || math.Abs(s.Max-100000) > 1 {
+		t.Errorf("Summary min/max = %v/%v ns", s.Min, s.Max)
+	}
+	if err := l.RecordSeconds(-1); err == nil {
+		t.Error("negative latency should be rejected")
+	}
+}
+
+func TestFairnessMeter(t *testing.T) {
+	f := NewFairnessMeter()
+	flowA := packet.FiveTuple{Src: packet.Addr4{1, 1, 1, 1}, SrcPort: 1, Proto: packet.ProtoUDP}
+	flowB := packet.FiveTuple{Src: packet.Addr4{2, 2, 2, 2}, SrcPort: 2, Proto: packet.ProtoUDP}
+	for i := 0; i < 10; i++ {
+		f.Record(flowA, 100)
+		f.Record(flowB, 100)
+	}
+	if f.Flows() != 2 {
+		t.Errorf("Flows = %d", f.Flows())
+	}
+	if j := f.JFI(); math.Abs(j-1) > 1e-12 {
+		t.Errorf("equal flows JFI = %v, want 1", j)
+	}
+	// Skew it.
+	for i := 0; i < 80; i++ {
+		f.Record(flowA, 100)
+	}
+	if j := f.JFI(); j > 0.7 {
+		t.Errorf("skewed JFI = %v, want < 0.7", j)
+	}
+}

@@ -1,0 +1,145 @@
+package metric
+
+import "fmt"
+
+// Kind distinguishes cost metrics from performance metrics. The paper's
+// central prescription is that heterogeneous-hardware evaluations report
+// both kinds (§1, §2).
+type Kind int
+
+const (
+	// Cost metrics measure resources consumed: power, space, silicon,
+	// money. Lower is better unless Direction says otherwise.
+	Cost Kind = iota
+	// Performance metrics measure useful output: throughput, latency,
+	// fairness.
+	Performance
+)
+
+// String returns "cost" or "performance".
+func (k Kind) String() string {
+	switch k {
+	case Cost:
+		return "cost"
+	case Performance:
+		return "performance"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Direction says which way an axis improves. Throughput improves upward
+// (HigherIsBetter); latency, power and price improve downward.
+type Direction int
+
+const (
+	LowerIsBetter Direction = iota
+	HigherIsBetter
+)
+
+// String returns "lower-is-better" or "higher-is-better".
+func (d Direction) String() string {
+	if d == HigherIsBetter {
+		return "higher-is-better"
+	}
+	return "lower-is-better"
+}
+
+// Better reports whether value a is strictly better than b along this
+// direction.
+func (d Direction) Better(a, b float64) bool {
+	if d == HigherIsBetter {
+		return a > b
+	}
+	return a < b
+}
+
+// Properties records whether a metric has the three properties the paper
+// argues good research cost metrics need (§3). A metric missing any of
+// them is not necessarily useless — TCO drives real purchasing
+// decisions — but results reported with it cannot be meaningfully
+// compared across papers, organisations, or time.
+type Properties struct {
+	// ContextIndependent (§3.1, Principle 1): the metric yields
+	// identical values for identical deployments — same hardware, same
+	// configuration, same workload — regardless of who measures it,
+	// where, or when. TCO and hardware price fail this; watts and die
+	// area pass.
+	ContextIndependent bool
+	// Quantifiable (§3.2, Principle 2): the metric is measurable and
+	// comparable head-to-head with agreed-upon tools. Carbon footprint
+	// and programming complexity currently fail this.
+	Quantifiable bool
+	// EndToEnd (§3.3, Principle 3): values for the metric can be
+	// composed across *all* components of every compared system.
+	// CPU cores fail it when one system also uses an FPGA: cores and
+	// LUTs do not add up across device types.
+	EndToEnd bool
+	// Qualification holds a caveat for metrics that meet a property
+	// only with extra reported information — e.g. rack space is only
+	// context-independent if power and cooling assumptions are stated.
+	Qualification string
+}
+
+// Good reports whether all three properties hold; the paper's criterion
+// for a metric being suitable for head-to-head research comparisons.
+func (p Properties) Good() bool {
+	return p.ContextIndependent && p.Quantifiable && p.EndToEnd
+}
+
+// Descriptor describes a metric: what it measures, in what unit, which
+// way it improves, and whether it satisfies the paper's three principles
+// for research-grade cost metrics.
+type Descriptor struct {
+	// Name is the registry key, e.g. "power", "tco", "throughput-bps".
+	Name string
+	// DisplayName is the human-readable name used in tables.
+	DisplayName string
+	// Kind says whether this is a cost or a performance metric.
+	Kind Kind
+	// Unit is the preferred reporting unit.
+	Unit Unit
+	// Direction says which way the metric improves.
+	Direction Direction
+	// Props records the paper's three cost-metric properties. They are
+	// meaningful for Kind == Cost; performance metrics record analogous
+	// judgements (e.g. reliability is hard to quantify, §3.2 footnote).
+	Props Properties
+	// Scalable reports whether the metric scales when the system is
+	// horizontally scaled (paper §4.3): throughput and power do;
+	// latency and Jain's fairness index do not.
+	Scalable bool
+	// Notes carries prose from the paper's discussion of the metric.
+	Notes string
+}
+
+// Validate checks internal consistency of the descriptor.
+func (d Descriptor) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("metric: descriptor has empty name")
+	}
+	if d.Unit.Scale <= 0 {
+		return fmt.Errorf("metric %q: unit scale must be positive, got %v", d.Name, d.Unit.Scale)
+	}
+	return nil
+}
+
+// String renders a compact summary, e.g.
+// "power (W, cost, lower-is-better) [CI Q E2E]".
+func (d Descriptor) String() string {
+	marks := ""
+	if d.Kind == Cost {
+		marks = " [" + propMarks(d.Props) + "]"
+	}
+	return fmt.Sprintf("%s (%s, %s, %s)%s", d.Name, d.Unit.Symbol, d.Kind, d.Direction, marks)
+}
+
+func propMarks(p Properties) string {
+	mark := func(ok bool, s string) string {
+		if ok {
+			return s
+		}
+		return "!" + s
+	}
+	return mark(p.ContextIndependent, "CI") + " " + mark(p.Quantifiable, "Q") + " " + mark(p.EndToEnd, "E2E")
+}

@@ -1,0 +1,73 @@
+package metric
+
+import "sort"
+
+// Table1 reproduces the paper's Table 1: the classification of common
+// cost metrics into context-dependent and context-independent. The rows
+// are computed from descriptor properties, not hard-coded, so registering
+// new metrics extends the table.
+type Table1 struct {
+	// ContextDependent lists cost metrics whose value can differ for
+	// identical deployments depending on who evaluates them and when.
+	ContextDependent []Descriptor
+	// ContextIndependent lists cost metrics that yield identical values
+	// for identical deployments.
+	ContextIndependent []Descriptor
+	// Qualified lists metrics (also present in one of the two groups)
+	// whose classification holds only with extra reported information,
+	// e.g. rack space (§3.4).
+	Qualified []Descriptor
+}
+
+// ClassifyTable1 builds Table 1 from the cost metrics in r.
+func ClassifyTable1(r *Registry) Table1 {
+	var t Table1
+	for _, d := range r.Costs() {
+		if d.Props.ContextIndependent {
+			t.ContextIndependent = append(t.ContextIndependent, d)
+		} else {
+			t.ContextDependent = append(t.ContextDependent, d)
+		}
+		if d.Props.Qualification != "" {
+			t.Qualified = append(t.Qualified, d)
+		}
+	}
+	return t
+}
+
+// ScoreRow is one row of the §3.4 practical-metric scorecard: a metric
+// and a pass/fail judgement against each of the three principles.
+type ScoreRow struct {
+	Metric             Descriptor
+	ContextIndependent bool
+	Quantifiable       bool
+	EndToEnd           bool
+	// Suitable is the overall verdict: all three principles pass.
+	Suitable bool
+	// Caveat is the qualification, if any.
+	Caveat string
+}
+
+// Scorecard builds the §3.4 scorecard for the cost metrics in r, sorted
+// with suitable metrics first, then by name — mirroring the paper's
+// discussion order (power first, TCO and carbon last).
+func Scorecard(r *Registry) []ScoreRow {
+	var rows []ScoreRow
+	for _, d := range r.Costs() {
+		rows = append(rows, ScoreRow{
+			Metric:             d,
+			ContextIndependent: d.Props.ContextIndependent,
+			Quantifiable:       d.Props.Quantifiable,
+			EndToEnd:           d.Props.EndToEnd,
+			Suitable:           d.Props.Good(),
+			Caveat:             d.Props.Qualification,
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Suitable != rows[j].Suitable {
+			return rows[i].Suitable
+		}
+		return rows[i].Metric.Name < rows[j].Metric.Name
+	})
+	return rows
+}

@@ -1,0 +1,98 @@
+package metric
+
+import "testing"
+
+func tableNames(ds []Descriptor) map[string]bool {
+	m := make(map[string]bool, len(ds))
+	for _, d := range ds {
+		m[d.Name] = true
+	}
+	return m
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Paper Table 1:
+	//   Context Dependent:  TCO ($), hardware price ($), carbon footprint.
+	//   Context Independent: power (W), heat dissipation (BTU/h),
+	//     silicon die area (mm²), number of CPU cores, number of FPGA
+	//     LUTs, memory usage (MB).
+	tab := ClassifyTable1(Standard())
+	dep := tableNames(tab.ContextDependent)
+	ind := tableNames(tab.ContextIndependent)
+
+	for _, name := range []string{MetricTCO, MetricPrice, MetricCarbon} {
+		if !dep[name] {
+			t.Errorf("%s should be classified context-dependent", name)
+		}
+	}
+	for _, name := range []string{MetricPower, MetricHeat, MetricDieArea, MetricCores, MetricLUTs, MetricMemory} {
+		if !ind[name] {
+			t.Errorf("%s should be classified context-independent", name)
+		}
+	}
+	// No metric may appear in both groups.
+	for n := range dep {
+		if ind[n] {
+			t.Errorf("%s appears in both Table 1 groups", n)
+		}
+	}
+}
+
+func TestTable1QualifiedIncludesRackSpace(t *testing.T) {
+	tab := ClassifyTable1(Standard())
+	if !tableNames(tab.Qualified)[MetricRackSpace] {
+		t.Error("rack space should be listed with a qualification (§3.4)")
+	}
+}
+
+func TestScorecardVerdicts(t *testing.T) {
+	rows := Scorecard(Standard())
+	verdict := make(map[string]ScoreRow)
+	for _, r := range rows {
+		verdict[r.Metric.Name] = r
+	}
+
+	// §3.4: power is suitable; cores/LUTs fail end-to-end; TCO fails
+	// context-independence; carbon fails quantifiability.
+	if !verdict[MetricPower].Suitable {
+		t.Error("power should be a suitable research cost metric")
+	}
+	if verdict[MetricCores].Suitable || verdict[MetricCores].EndToEnd {
+		t.Error("cores should fail the end-to-end principle and be unsuitable")
+	}
+	if verdict[MetricTCO].Suitable || verdict[MetricTCO].ContextIndependent {
+		t.Error("TCO should fail context-independence and be unsuitable")
+	}
+	if verdict[MetricCarbon].Quantifiable {
+		t.Error("carbon should fail quantifiability")
+	}
+	if verdict[MetricRackSpace].Caveat == "" {
+		t.Error("rack space should carry a caveat")
+	}
+}
+
+func TestScorecardOrdering(t *testing.T) {
+	rows := Scorecard(Standard())
+	seenUnsuitable := false
+	for _, r := range rows {
+		if !r.Suitable {
+			seenUnsuitable = true
+		} else if seenUnsuitable {
+			t.Fatalf("suitable metric %s after unsuitable rows; want suitable-first order", r.Metric.Name)
+		}
+	}
+}
+
+func TestTable1OnlyCostMetrics(t *testing.T) {
+	tab := ClassifyTable1(Standard())
+	all := append(append([]Descriptor{}, tab.ContextDependent...), tab.ContextIndependent...)
+	for _, d := range all {
+		if d.Kind != Cost {
+			t.Errorf("Table 1 contains non-cost metric %s", d.Name)
+		}
+	}
+	// Throughput must not leak into a cost table.
+	if tableNames(all)[MetricThroughputBps] {
+		t.Error("throughput should not appear in Table 1")
+	}
+}

@@ -1,0 +1,261 @@
+package nf
+
+import (
+	"fmt"
+
+	"fairbench/internal/packet"
+)
+
+// Prefix is an IPv4 prefix for rule matching.
+type Prefix struct {
+	Addr packet.Addr4
+	Bits uint8 // 0 matches everything
+}
+
+// Contains reports whether the prefix covers addr.
+func (p Prefix) Contains(addr packet.Addr4) bool {
+	if p.Bits == 0 {
+		return true
+	}
+	if p.Bits > 32 {
+		return false
+	}
+	shift := 32 - uint32(p.Bits)
+	return addr.Uint32()>>shift == p.Addr.Uint32()>>shift
+}
+
+// String renders CIDR form.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Addr, p.Bits) }
+
+// PortRange matches an inclusive port interval; the zero value (0,0)
+// matches any port.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// Any reports whether the range matches all ports.
+func (r PortRange) Any() bool { return r.Lo == 0 && r.Hi == 0 }
+
+// Contains reports whether the range covers port.
+func (r PortRange) Contains(port uint16) bool {
+	if r.Any() {
+		return true
+	}
+	return port >= r.Lo && port <= r.Hi
+}
+
+// Rule is a classic 5-tuple firewall rule.
+type Rule struct {
+	Src, Dst Prefix
+	SrcPorts PortRange
+	DstPorts PortRange
+	Proto    uint8 // 0 = any
+	Action   Verdict
+	// ID is an opaque rule identifier surfaced in match statistics.
+	ID int
+}
+
+// Matches reports whether the rule covers the flow.
+func (r Rule) Matches(ft packet.FiveTuple) bool {
+	if r.Proto != 0 && r.Proto != ft.Proto {
+		return false
+	}
+	return r.Src.Contains(ft.Src) && r.Dst.Contains(ft.Dst) &&
+		r.SrcPorts.Contains(ft.SrcPort) && r.DstPorts.Contains(ft.DstPort)
+}
+
+// Matcher classifies a flow against a rule set. Implementations also
+// report the work performed so the cycle model reflects algorithmic
+// differences (the DESIGN.md matcher ablation).
+type Matcher interface {
+	// Match returns the first matching rule and true, charging cycles.
+	Match(ft packet.FiveTuple) (Rule, uint64, bool)
+	// Len returns the number of installed rules.
+	Len() int
+}
+
+// LinearMatcher scans rules in priority order — the textbook baseline.
+type LinearMatcher struct {
+	rules []Rule
+}
+
+// NewLinearMatcher copies rules in priority order.
+func NewLinearMatcher(rules []Rule) *LinearMatcher {
+	return &LinearMatcher{rules: append([]Rule(nil), rules...)}
+}
+
+// Len implements Matcher.
+func (m *LinearMatcher) Len() int { return len(m.rules) }
+
+// Match implements Matcher: first match wins, cycles grow with the
+// number of rules examined.
+func (m *LinearMatcher) Match(ft packet.FiveTuple) (Rule, uint64, bool) {
+	for i, r := range m.rules {
+		if r.Matches(ft) {
+			return r, uint64(i+1) * CyclesPerLinearRule, true
+		}
+	}
+	return Rule{}, uint64(len(m.rules)) * CyclesPerLinearRule, false
+}
+
+// tupleKey is an exact-match key under a specific mask group.
+type tupleKey struct {
+	src, dst         uint32
+	srcPort, dstPort uint16
+	proto            uint8
+}
+
+// maskGroup is one tuple space: all rules sharing a mask signature.
+type maskGroup struct {
+	srcBits, dstBits       uint8
+	srcPortAny, dstPortAny bool
+	protoAny               bool
+	rules                  map[tupleKey]Rule
+}
+
+func (g *maskGroup) key(ft packet.FiveTuple) tupleKey {
+	k := tupleKey{}
+	if g.srcBits > 0 {
+		k.src = ft.Src.Uint32() >> (32 - uint32(g.srcBits))
+	}
+	if g.dstBits > 0 {
+		k.dst = ft.Dst.Uint32() >> (32 - uint32(g.dstBits))
+	}
+	if !g.srcPortAny {
+		k.srcPort = ft.SrcPort
+	}
+	if !g.dstPortAny {
+		k.dstPort = ft.DstPort
+	}
+	if !g.protoAny {
+		k.proto = ft.Proto
+	}
+	return k
+}
+
+// TupleSpaceMatcher implements tuple-space search (Srinivasan &
+// Varghese): rules are grouped by mask signature and each group is one
+// hash lookup. Match cost grows with the number of distinct mask
+// groups, not the number of rules — the classic trade against linear
+// scan. Port ranges other than any/exact are not supported by this
+// matcher and are rejected at construction.
+type TupleSpaceMatcher struct {
+	groups []*maskGroup
+	n      int
+}
+
+// NewTupleSpaceMatcher builds the tuple spaces. Rules with true port
+// ranges (not any, not single-port) return an error; priority between
+// overlapping rules follows lowest rule index via tie-break on ID order
+// within a lookup round.
+func NewTupleSpaceMatcher(rules []Rule) (*TupleSpaceMatcher, error) {
+	m := &TupleSpaceMatcher{}
+	byMask := make(map[string]*maskGroup)
+	for i, r := range rules {
+		if !r.SrcPorts.Any() && r.SrcPorts.Lo != r.SrcPorts.Hi {
+			return nil, fmt.Errorf("nf: tuple-space matcher: rule %d has src port range %d-%d (only any/exact supported)", i, r.SrcPorts.Lo, r.SrcPorts.Hi)
+		}
+		if !r.DstPorts.Any() && r.DstPorts.Lo != r.DstPorts.Hi {
+			return nil, fmt.Errorf("nf: tuple-space matcher: rule %d has dst port range %d-%d (only any/exact supported)", i, r.DstPorts.Lo, r.DstPorts.Hi)
+		}
+		sig := fmt.Sprintf("%d/%d/%t/%t/%t", r.Src.Bits, r.Dst.Bits, r.SrcPorts.Any(), r.DstPorts.Any(), r.Proto == 0)
+		g, ok := byMask[sig]
+		if !ok {
+			g = &maskGroup{
+				srcBits: r.Src.Bits, dstBits: r.Dst.Bits,
+				srcPortAny: r.SrcPorts.Any(), dstPortAny: r.DstPorts.Any(),
+				protoAny: r.Proto == 0,
+				rules:    make(map[tupleKey]Rule),
+			}
+			byMask[sig] = g
+			m.groups = append(m.groups, g)
+		}
+		k := tupleKey{}
+		if g.srcBits > 0 {
+			k.src = r.Src.Addr.Uint32() >> (32 - uint32(g.srcBits))
+		}
+		if g.dstBits > 0 {
+			k.dst = r.Dst.Addr.Uint32() >> (32 - uint32(g.dstBits))
+		}
+		if !g.srcPortAny {
+			k.srcPort = r.SrcPorts.Lo
+		}
+		if !g.dstPortAny {
+			k.dstPort = r.DstPorts.Lo
+		}
+		if !g.protoAny {
+			k.proto = r.Proto
+		}
+		if _, dup := g.rules[k]; !dup {
+			g.rules[k] = r // first (highest-priority) rule wins the slot
+		}
+		m.n++
+	}
+	return m, nil
+}
+
+// Len implements Matcher.
+func (m *TupleSpaceMatcher) Len() int { return m.n }
+
+// Match implements Matcher. All groups are probed (the standard
+// algorithm must, to find the highest-priority match), costing one hash
+// lookup each; the lowest rule ID among hits wins.
+func (m *TupleSpaceMatcher) Match(ft packet.FiveTuple) (Rule, uint64, bool) {
+	cycles := uint64(len(m.groups)) * CyclesPerTupleGroup
+	best := Rule{}
+	found := false
+	for _, g := range m.groups {
+		if r, ok := g.rules[g.key(ft)]; ok {
+			if !found || r.ID < best.ID {
+				best = r
+				found = true
+			}
+		}
+	}
+	return best, cycles, found
+}
+
+// Firewall is a stateless packet filter over a Matcher.
+type Firewall struct {
+	name    string
+	matcher Matcher
+	// DefaultAction applies when no rule matches.
+	DefaultAction Verdict
+	// Matched counts per-rule hits by rule ID.
+	Matched map[int]uint64
+	// Dropped and Accepted count outcomes.
+	Dropped, Accepted uint64
+}
+
+// NewFirewall builds a firewall with a default-drop policy.
+func NewFirewall(name string, m Matcher) *Firewall {
+	return &Firewall{name: name, matcher: m, DefaultAction: Drop, Matched: make(map[int]uint64)}
+}
+
+// Name implements Func.
+func (f *Firewall) Name() string { return f.name }
+
+// Process implements Func: non-IPv4-TCP/UDP traffic is dropped (a
+// firewall that cannot classify fails closed), otherwise the matcher
+// decides.
+func (f *Firewall) Process(p *packet.Parser, _ []byte) (Result, error) {
+	ft, ok := p.FiveTuple()
+	if !ok {
+		f.Dropped++
+		return Result{Verdict: Drop, Cycles: CyclesParse}, nil
+	}
+	rule, cycles, matched := f.matcher.Match(ft)
+	res := Result{Cycles: CyclesParse + cycles}
+	if matched {
+		f.Matched[rule.ID]++
+		res.Verdict = rule.Action
+	} else {
+		res.Verdict = f.DefaultAction
+	}
+	if res.Verdict == Drop {
+		f.Dropped++
+	} else {
+		f.Accepted++
+	}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package nf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairbench/internal/packet"
+)
+
+// Backend is a load-balancer target.
+type Backend struct {
+	Name string
+	Addr packet.Addr4
+}
+
+// LoadBalancer rewrites destination addresses to a backend chosen by
+// consistent hashing over the flow five-tuple, so all packets of a flow
+// (and its reverse direction, via the symmetric FastHash) reach the
+// same backend, and backend churn remaps only ~1/n of flows.
+type LoadBalancer struct {
+	name     string
+	ring     []ringEntry // sorted by hash
+	backends map[string]Backend
+	// PerBackend counts packets steered to each backend name.
+	PerBackend map[string]uint64
+	vnodes     int
+}
+
+type ringEntry struct {
+	hash uint64
+	name string
+}
+
+// ErrNoBackends is returned when processing with an empty ring.
+var ErrNoBackends = errors.New("nf: load balancer has no backends")
+
+// NewLoadBalancer builds a balancer with the given virtual-node count
+// per backend (more vnodes → smoother distribution; 64 is customary).
+func NewLoadBalancer(name string, vnodes int) *LoadBalancer {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &LoadBalancer{
+		name:       name,
+		backends:   make(map[string]Backend),
+		PerBackend: make(map[string]uint64),
+		vnodes:     vnodes,
+	}
+}
+
+// Name implements Func.
+func (lb *LoadBalancer) Name() string { return lb.name }
+
+// AddBackend inserts a backend into the ring.
+func (lb *LoadBalancer) AddBackend(b Backend) {
+	if _, dup := lb.backends[b.Name]; dup {
+		lb.RemoveBackend(b.Name)
+	}
+	lb.backends[b.Name] = b
+	for v := 0; v < lb.vnodes; v++ {
+		lb.ring = append(lb.ring, ringEntry{hash: vnodeHash(b.Name, v), name: b.Name})
+	}
+	sort.Slice(lb.ring, func(i, j int) bool { return lb.ring[i].hash < lb.ring[j].hash })
+}
+
+// RemoveBackend removes a backend and its virtual nodes.
+func (lb *LoadBalancer) RemoveBackend(name string) {
+	delete(lb.backends, name)
+	kept := lb.ring[:0]
+	for _, e := range lb.ring {
+		if e.name != name {
+			kept = append(kept, e)
+		}
+	}
+	lb.ring = kept
+}
+
+// Backends returns the number of live backends.
+func (lb *LoadBalancer) Backends() int { return len(lb.backends) }
+
+// Pick returns the backend for a flow.
+func (lb *LoadBalancer) Pick(ft packet.FiveTuple) (Backend, error) {
+	if len(lb.ring) == 0 {
+		return Backend{}, ErrNoBackends
+	}
+	h := ft.FastHash()
+	// First ring entry with hash >= h, wrapping.
+	i := sort.Search(len(lb.ring), func(i int) bool { return lb.ring[i].hash >= h })
+	if i == len(lb.ring) {
+		i = 0
+	}
+	return lb.backends[lb.ring[i].name], nil
+}
+
+// Process implements Func: rewrites the destination address to the
+// picked backend (destination NAT style) with incremental checksum fix.
+func (lb *LoadBalancer) Process(p *packet.Parser, frame []byte) (Result, error) {
+	ft, ok := p.FiveTuple()
+	if !ok {
+		return Result{Verdict: Accept, Cycles: CyclesParse}, nil
+	}
+	b, err := lb.Pick(ft)
+	if err != nil {
+		return Result{Verdict: Drop, Cycles: CyclesParse + CyclesLBPick}, err
+	}
+	lb.PerBackend[b.Name]++
+	if err := rewriteDest(p, frame, b.Addr); err != nil {
+		return Result{Verdict: Drop, Cycles: CyclesParse + CyclesLBPick}, err
+	}
+	return Result{Verdict: Rewritten, Cycles: CyclesParse + CyclesLBPick}, nil
+}
+
+// rewriteDest rewrites the IPv4 destination address with incremental
+// checksum updates to the IP and transport checksums.
+func rewriteDest(p *packet.Parser, frame []byte, newAddr packet.Addr4) error {
+	ipStart := p.Eth.HeaderLen()
+	ipHdrLen := p.IP4.HeaderLen()
+	if len(frame) < ipStart+ipHdrLen {
+		return fmt.Errorf("nf: frame shorter than parsed headers")
+	}
+	oldAddr := p.IP4.Dst
+
+	ipCheck := beU16(frame[ipStart+10:])
+	ipCheck = packet.UpdateChecksum32(ipCheck, oldAddr.Uint32(), newAddr.Uint32())
+	copy(frame[ipStart+16:ipStart+20], newAddr[:])
+	putU16(frame[ipStart+10:], ipCheck)
+
+	l4Start := ipStart + ipHdrLen
+	switch p.IP4.Protocol {
+	case packet.ProtoTCP:
+		check := beU16(frame[l4Start+16:])
+		check = packet.UpdateChecksum32(check, oldAddr.Uint32(), newAddr.Uint32())
+		putU16(frame[l4Start+16:], check)
+	case packet.ProtoUDP:
+		check := beU16(frame[l4Start+6:])
+		if check != 0 {
+			check = packet.UpdateChecksum32(check, oldAddr.Uint32(), newAddr.Uint32())
+			if check == 0 {
+				check = 0xffff
+			}
+			putU16(frame[l4Start+6:], check)
+		}
+	}
+	return nil
+}
+
+// vnodeHash hashes a backend name and virtual-node index (FNV-1a with
+// finalisation).
+func vnodeHash(name string, v int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= uint64(v)
+	h *= prime64
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,324 @@
+package nf
+
+import (
+	"strings"
+	"testing"
+
+	"fairbench/internal/packet"
+	"fairbench/internal/perf"
+)
+
+func TestLoadBalancerPickStable(t *testing.T) {
+	lb := NewLoadBalancer("lb", 64)
+	lb.AddBackend(Backend{Name: "b1", Addr: packet.Addr4{10, 0, 1, 1}})
+	lb.AddBackend(Backend{Name: "b2", Addr: packet.Addr4{10, 0, 1, 2}})
+	lb.AddBackend(Backend{Name: "b3", Addr: packet.Addr4{10, 0, 1, 3}})
+
+	ft := natFlow(4242, packet.ProtoTCP)
+	first, err := lb.Pick(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		b, _ := lb.Pick(ft)
+		if b.Name != first.Name {
+			t.Fatal("pick must be deterministic per flow")
+		}
+	}
+	// Direction symmetry: the reverse flow lands on the same backend.
+	rev, _ := lb.Pick(ft.Reverse())
+	if rev.Name != first.Name {
+		t.Error("reverse direction should pick the same backend")
+	}
+}
+
+func TestLoadBalancerSpread(t *testing.T) {
+	lb := NewLoadBalancer("lb", 64)
+	for _, n := range []string{"b1", "b2", "b3", "b4"} {
+		lb.AddBackend(Backend{Name: n, Addr: packet.Addr4{10, 0, 1, byte(len(n))}})
+	}
+	counts := make(map[string]int)
+	for i := 0; i < 20000; i++ {
+		ft := packet.FiveTuple{
+			Src: packet.Addr4From(uint32(0x0a000000 + i)), Dst: packet.Addr4{1, 1, 1, 1},
+			SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+		b, err := lb.Pick(ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[b.Name]++
+	}
+	for n, c := range counts {
+		if c < 2000 || c > 10000 {
+			t.Errorf("backend %s got %d of 20000 flows; want roughly even spread", n, c)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d backends used", len(counts))
+	}
+}
+
+func TestLoadBalancerChurnRemapsFraction(t *testing.T) {
+	// Consistent hashing: removing one of four backends should remap
+	// roughly 1/4 of flows, not all of them.
+	build := func(backends []string) map[int]string {
+		lb := NewLoadBalancer("lb", 64)
+		for i, n := range backends {
+			lb.AddBackend(Backend{Name: n, Addr: packet.Addr4{10, 0, 1, byte(i)}})
+		}
+		out := make(map[int]string)
+		for i := 0; i < 5000; i++ {
+			ft := packet.FiveTuple{
+				Src: packet.Addr4From(uint32(0x0a000000 + i)), Dst: packet.Addr4{1, 1, 1, 1},
+				SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP,
+			}
+			b, _ := lb.Pick(ft)
+			out[i] = b.Name
+		}
+		return out
+	}
+	before := build([]string{"b1", "b2", "b3", "b4"})
+	after := build([]string{"b1", "b2", "b3"})
+	moved := 0
+	for i, n := range before {
+		if after[i] != n {
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(before))
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("churn moved %.0f%% of flows; consistent hashing should move ≈25%%", frac*100)
+	}
+}
+
+func TestLoadBalancerProcessRewrites(t *testing.T) {
+	lb := NewLoadBalancer("lb", 16)
+	backend := Backend{Name: "b1", Addr: packet.Addr4{10, 0, 9, 9}}
+	lb.AddBackend(backend)
+	ft := natFlow(1000, packet.ProtoTCP)
+	frame := buildFor(t, ft, []byte("payload"))
+	p := packet.NewParser()
+	_ = p.Parse(frame)
+	res, err := lb.Process(p, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Rewritten {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	p2 := packet.NewParser()
+	if err := p2.Parse(frame); err != nil {
+		t.Fatalf("rewritten frame invalid: %v", err)
+	}
+	if p2.IP4.Dst != backend.Addr {
+		t.Errorf("dst = %v", p2.IP4.Dst)
+	}
+	l4 := frame[p2.Eth.HeaderLen()+p2.IP4.HeaderLen() : p2.Eth.HeaderLen()+int(p2.IP4.Length)]
+	if !packet.VerifyChecksumTCP(p2.IP4.Src, p2.IP4.Dst, l4) {
+		t.Error("TCP checksum invalid after LB rewrite")
+	}
+	if lb.PerBackend["b1"] != 1 {
+		t.Errorf("PerBackend = %v", lb.PerBackend)
+	}
+}
+
+func TestLoadBalancerNoBackends(t *testing.T) {
+	lb := NewLoadBalancer("lb", 8)
+	if _, err := lb.Pick(natFlow(1, packet.ProtoTCP)); err != ErrNoBackends {
+		t.Errorf("err = %v", err)
+	}
+	lb.AddBackend(Backend{Name: "x", Addr: packet.Addr4{1, 2, 3, 4}})
+	lb.RemoveBackend("x")
+	if lb.Backends() != 0 {
+		t.Error("RemoveBackend failed")
+	}
+}
+
+func TestAhoCorasickBasics(t *testing.T) {
+	ac, err := NewAhoCorasick([]string{"he", "she", "his", "hers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []string
+	ac.Search([]byte("ushers"), func(p, end int) bool {
+		hits = append(hits, ac.Patterns()[p])
+		return true
+	})
+	// Classic example: "ushers" contains she, he, hers.
+	want := map[string]bool{"she": true, "he": true, "hers": true}
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v, want 3 matches", hits)
+	}
+	for _, h := range hits {
+		if !want[h] {
+			t.Errorf("unexpected match %q", h)
+		}
+	}
+}
+
+func TestAhoCorasickOverlapsAndNoMatch(t *testing.T) {
+	ac, _ := NewAhoCorasick([]string{"aa"})
+	count := 0
+	ac.Search([]byte("aaaa"), func(int, int) bool { count++; return true })
+	if count != 3 {
+		t.Errorf("overlapping 'aa' in 'aaaa' = %d, want 3", count)
+	}
+	if ac.Contains([]byte("bbbb")) {
+		t.Error("no match expected")
+	}
+	empty, _ := NewAhoCorasick(nil)
+	if empty.Contains([]byte("anything")) {
+		t.Error("empty automaton matches nothing")
+	}
+}
+
+func TestAhoCorasickRejectsEmptyPattern(t *testing.T) {
+	if _, err := NewAhoCorasick([]string{"ok", ""}); err == nil {
+		t.Error("empty pattern should be rejected")
+	}
+}
+
+func TestAhoCorasickMatchesNaive(t *testing.T) {
+	// Property check against naive search on random-ish data.
+	patterns := []string{"attack", "tac", "ck", "kat", "tta"}
+	ac, err := NewAhoCorasick(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("kattackattacktactickck")
+	got := make(map[string]int)
+	ac.Search(data, func(p, _ int) bool { got[patterns[p]]++; return true })
+	for _, pat := range patterns {
+		naive := strings.Count(string(data), pat)
+		// strings.Count does not count overlapping occurrences; count
+		// them naively.
+		overlap := 0
+		for i := 0; i+len(pat) <= len(data); i++ {
+			if string(data[i:i+len(pat)]) == pat {
+				overlap++
+			}
+		}
+		if got[pat] != overlap {
+			t.Errorf("pattern %q: ac=%d naive=%d (strings.Count=%d)", pat, got[pat], overlap, naive)
+		}
+	}
+}
+
+func TestDPIDropsSignatureTraffic(t *testing.T) {
+	d, err := NewDPI("ips", []string{"EVIL", "exploit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := natFlow(2000, packet.ProtoTCP)
+	bad := buildFor(t, ft, []byte("payload with EVIL inside"))
+	good := buildFor(t, ft, []byte("plain payload"))
+	p := packet.NewParser()
+
+	_ = p.Parse(bad)
+	res, err := d.Process(p, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Drop {
+		t.Errorf("signature traffic verdict = %v", res.Verdict)
+	}
+	if d.Alerts[0] != 1 {
+		t.Errorf("Alerts = %v", d.Alerts)
+	}
+
+	_ = p.Parse(good)
+	res2, err := d.Process(p, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != Accept {
+		t.Errorf("clean traffic verdict = %v", res2.Verdict)
+	}
+	// DPI cost scales with payload length.
+	if res.Cycles <= CyclesParse {
+		t.Error("DPI cycles should include per-byte inspection")
+	}
+	if d.Inspected == 0 {
+		t.Error("Inspected bytes not counted")
+	}
+}
+
+func TestFlowCounterAndJFI(t *testing.T) {
+	c := NewFlowCounter("count")
+	p := packet.NewParser()
+	// Two flows with unequal byte shares.
+	for i := 0; i < 9; i++ {
+		frame := buildFor(t, natFlow(1, packet.ProtoUDP), make([]byte, 100))
+		_ = p.Parse(frame)
+		if _, err := c.Process(p, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame := buildFor(t, natFlow(2, packet.ProtoUDP), make([]byte, 100))
+	_ = p.Parse(frame)
+	if _, err := c.Process(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Packets) != 2 {
+		t.Fatalf("flows = %d", len(c.Packets))
+	}
+	j := perf.Jain(c.ByteAllocations())
+	if j <= 0.5 || j >= 1 {
+		t.Errorf("JFI of 9:1 split = %v, want in (0.5, 1)", j)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	fw := NewFirewall("fw", NewLinearMatcher([]Rule{
+		{ID: 0, Proto: packet.ProtoTCP, Action: Accept},
+	}))
+	d, _ := NewDPI("ips", []string{"EVIL"})
+	pl := NewPipeline("fw+ips", fw, d)
+	if pl.Name() != "fw+ips" {
+		t.Error("name")
+	}
+	p := packet.NewParser()
+
+	// TCP with clean payload: passes both, cycles accumulate.
+	clean := buildFor(t, natFlow(1, packet.ProtoTCP), []byte("fine"))
+	_ = p.Parse(clean)
+	res, err := pl.Process(p, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Accept {
+		t.Errorf("verdict = %v", res.Verdict)
+	}
+	if res.Cycles < 2*CyclesParse {
+		t.Errorf("pipeline cycles = %d, want both stages charged", res.Cycles)
+	}
+
+	// UDP: firewall default-drops, DPI never runs.
+	udp := buildFor(t, natFlow(1, packet.ProtoUDP), []byte("EVIL"))
+	_ = p.Parse(udp)
+	res2, _ := pl.Process(p, udp)
+	if res2.Verdict != Drop {
+		t.Errorf("verdict = %v", res2.Verdict)
+	}
+	if d.Alerts[0] != 0 {
+		t.Error("DPI should not have run after a Drop")
+	}
+
+	// TCP with signature: firewall accepts, DPI drops.
+	evil := buildFor(t, natFlow(1, packet.ProtoTCP), []byte("EVIL"))
+	_ = p.Parse(evil)
+	res3, _ := pl.Process(p, evil)
+	if res3.Verdict != Drop {
+		t.Errorf("verdict = %v", res3.Verdict)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Accept.String() != "accept" || Drop.String() != "drop" || Rewritten.String() != "rewritten" {
+		t.Error("verdict strings")
+	}
+	if Verdict(99).String() != "unknown" {
+		t.Error("unknown verdict")
+	}
+}

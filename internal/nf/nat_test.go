@@ -1,0 +1,149 @@
+package nf
+
+import (
+	"testing"
+
+	"fairbench/internal/packet"
+)
+
+var natOpts = packet.BuildOpts{SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2}}
+
+func natFlow(srcPort uint16, proto uint8) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src: packet.Addr4{192, 168, 0, 10}, Dst: packet.Addr4{1, 2, 3, 4},
+		SrcPort: srcPort, DstPort: 80, Proto: proto,
+	}
+}
+
+func buildFor(t *testing.T, ft packet.FiveTuple, payload []byte) []byte {
+	t.Helper()
+	var frame []byte
+	var err error
+	if ft.Proto == packet.ProtoTCP {
+		frame, err = packet.BuildTCP4(natOpts, ft, packet.FlagACK, 7, 9, payload)
+	} else {
+		frame, err = packet.BuildUDP4(natOpts, ft, payload)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestNATRewritesAndChecksumsStayValid(t *testing.T) {
+	extern := packet.Addr4{203, 0, 113, 1}
+	for _, proto := range []uint8{packet.ProtoTCP, packet.ProtoUDP} {
+		n := NewNAT("nat", extern)
+		ft := natFlow(5555, proto)
+		frame := buildFor(t, ft, []byte("hello-nat"))
+		p := packet.NewParser()
+		if err := p.Parse(frame); err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Process(p, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != Rewritten {
+			t.Fatalf("proto %d: verdict = %v", proto, res.Verdict)
+		}
+		// Reparse the rewritten frame: it must still be fully valid
+		// (the IPv4 decoder verifies the header checksum).
+		p2 := packet.NewParser()
+		if err := p2.Parse(frame); err != nil {
+			t.Fatalf("proto %d: rewritten frame invalid: %v", proto, err)
+		}
+		if p2.IP4.Src != extern {
+			t.Errorf("proto %d: src = %v, want %v", proto, p2.IP4.Src, extern)
+		}
+		ft2, _ := p2.FiveTuple()
+		if ft2.SrcPort == 5555 {
+			t.Errorf("proto %d: source port not rewritten", proto)
+		}
+		// Transport checksum must verify after the incremental update.
+		ipStart := p2.Eth.HeaderLen()
+		l4 := frame[ipStart+p2.IP4.HeaderLen() : ipStart+int(p2.IP4.Length)]
+		if proto == packet.ProtoTCP {
+			if !packet.VerifyChecksumTCP(p2.IP4.Src, p2.IP4.Dst, l4) {
+				t.Errorf("TCP checksum invalid after NAT")
+			}
+		} else {
+			if !packet.VerifyChecksumUDP(p2.IP4.Src, p2.IP4.Dst, l4) {
+				t.Errorf("UDP checksum invalid after NAT")
+			}
+		}
+	}
+}
+
+func TestNATBindingReuse(t *testing.T) {
+	n := NewNAT("nat", packet.Addr4{203, 0, 113, 1})
+	ft := natFlow(6000, packet.ProtoUDP)
+	p := packet.NewParser()
+
+	frame1 := buildFor(t, ft, nil)
+	_ = p.Parse(frame1)
+	res1, err := n.Process(p, frame1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := packet.NewParser()
+	_ = p1.Parse(frame1)
+	port1, _ := p1.FiveTuple()
+
+	frame2 := buildFor(t, ft, nil)
+	_ = p.Parse(frame2)
+	res2, err := n.Process(p, frame2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := packet.NewParser()
+	_ = p2.Parse(frame2)
+	port2, _ := p2.FiveTuple()
+
+	if port1.SrcPort != port2.SrcPort {
+		t.Errorf("same flow must reuse its binding: %d vs %d", port1.SrcPort, port2.SrcPort)
+	}
+	if n.Bindings() != 1 || n.Hits != 1 || n.Misses != 1 {
+		t.Errorf("bindings=%d hits=%d misses=%d", n.Bindings(), n.Hits, n.Misses)
+	}
+	if res2.Cycles >= res1.Cycles {
+		t.Errorf("established-flow cost (%d) should be below first-packet cost (%d)", res2.Cycles, res1.Cycles)
+	}
+}
+
+func TestNATDistinctFlowsDistinctPorts(t *testing.T) {
+	n := NewNAT("nat", packet.Addr4{203, 0, 113, 1})
+	seen := make(map[uint16]bool)
+	p := packet.NewParser()
+	for i := 0; i < 100; i++ {
+		ft := natFlow(uint16(7000+i), packet.ProtoUDP)
+		frame := buildFor(t, ft, nil)
+		_ = p.Parse(frame)
+		if _, err := n.Process(p, frame); err != nil {
+			t.Fatal(err)
+		}
+		out := packet.NewParser()
+		_ = out.Parse(frame)
+		oft, _ := out.FiveTuple()
+		if seen[oft.SrcPort] {
+			t.Fatalf("external port %d reused across flows", oft.SrcPort)
+		}
+		seen[oft.SrcPort] = true
+	}
+	if n.Bindings() != 100 {
+		t.Errorf("bindings = %d", n.Bindings())
+	}
+}
+
+func TestNATPassesNonIP(t *testing.T) {
+	n := NewNAT("nat", packet.Addr4{203, 0, 113, 1})
+	e := packet.Ethernet{EtherType: 0x0806}
+	frame := make([]byte, 60)
+	_, _ = e.SerializeTo(frame)
+	p := packet.NewParser()
+	_ = p.Parse(frame)
+	res, err := n.Process(p, frame)
+	if err != nil || res.Verdict != Accept {
+		t.Errorf("non-IP through NAT: %v %v", res.Verdict, err)
+	}
+}

@@ -1,0 +1,86 @@
+package nf
+
+import (
+	"fmt"
+
+	"fairbench/internal/packet"
+)
+
+// Token-bucket rate limiter (policer). Time comes from an injected
+// clock so the limiter works both under the discrete-event simulator
+// (pass the simulation clock) and in tests (pass a fake).
+
+// CyclesPolice is the per-packet cost of a token-bucket decision.
+const CyclesPolice = 50
+
+// TokenBucket polices aggregate throughput to ratePps with the given
+// burst allowance. Packets arriving with an empty bucket are dropped.
+type TokenBucket struct {
+	name    string
+	ratePps float64
+	burst   float64
+	now     func() float64
+
+	tokens   float64
+	lastFill float64
+	// Conforming and Policed count outcomes.
+	Conforming, Policed uint64
+}
+
+// NewTokenBucket builds a policer. rate must be positive, burst at
+// least 1 token, and now a monotone clock in seconds.
+func NewTokenBucket(name string, ratePps, burst float64, now func() float64) (*TokenBucket, error) {
+	if ratePps <= 0 {
+		return nil, fmt.Errorf("nf: token bucket rate %v must be positive", ratePps)
+	}
+	if burst < 1 {
+		return nil, fmt.Errorf("nf: token bucket burst %v must be >= 1", burst)
+	}
+	if now == nil {
+		return nil, fmt.Errorf("nf: token bucket needs a clock")
+	}
+	return &TokenBucket{
+		name:     name,
+		ratePps:  ratePps,
+		burst:    burst,
+		now:      now,
+		tokens:   burst,
+		lastFill: now(),
+	}, nil
+}
+
+// Name implements Func.
+func (tb *TokenBucket) Name() string { return tb.name }
+
+// Tokens returns the current bucket level (after refill), for tests.
+func (tb *TokenBucket) Tokens() float64 {
+	tb.refill()
+	return tb.tokens
+}
+
+func (tb *TokenBucket) refill() {
+	now := tb.now()
+	if now <= tb.lastFill {
+		return
+	}
+	tb.tokens += (now - tb.lastFill) * tb.ratePps
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.lastFill = now
+}
+
+// Process implements Func.
+func (tb *TokenBucket) Process(_ *packet.Parser, _ []byte) (Result, error) {
+	tb.refill()
+	res := Result{Cycles: CyclesParse + CyclesPolice}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		tb.Conforming++
+		res.Verdict = Accept
+		return res, nil
+	}
+	tb.Policed++
+	res.Verdict = Drop
+	return res, nil
+}

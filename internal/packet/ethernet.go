@@ -1,0 +1,75 @@
+package packet
+
+import "fmt"
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the conventional colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II header, optionally followed by one 802.1Q
+// VLAN tag (reflected in HasVLAN/VLANID/Priority).
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+	HasVLAN   bool
+	VLANID    uint16 // 12 bits
+	Priority  uint8  // 3 bits PCP
+}
+
+// HeaderLen returns the serialized header length (14 or 18 bytes).
+func (e *Ethernet) HeaderLen() int {
+	if e.HasVLAN {
+		return EthernetHeaderLen + VLANTagLen
+	}
+	return EthernetHeaderLen
+}
+
+// DecodeFromBytes parses the header from data, leaving payload
+// boundaries to the caller via HeaderLen.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return errTooShort(LayerTypeEthernet, EthernetHeaderLen, len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	et := beUint16(data[12:14])
+	e.HasVLAN = false
+	e.VLANID = 0
+	e.Priority = 0
+	if et == EtherTypeVLAN {
+		if len(data) < EthernetHeaderLen+VLANTagLen {
+			return errTooShort(LayerTypeVLAN, EthernetHeaderLen+VLANTagLen, len(data))
+		}
+		tci := beUint16(data[14:16])
+		e.HasVLAN = true
+		e.Priority = uint8(tci >> 13)
+		e.VLANID = tci & 0x0fff
+		et = beUint16(data[16:18])
+	}
+	e.EtherType = et
+	return nil
+}
+
+// SerializeTo writes the header into buf, which must have HeaderLen
+// bytes available; it returns the bytes written.
+func (e *Ethernet) SerializeTo(buf []byte) (int, error) {
+	n := e.HeaderLen()
+	if len(buf) < n {
+		return 0, errTooShort(LayerTypeEthernet, n, len(buf))
+	}
+	copy(buf[0:6], e.Dst[:])
+	copy(buf[6:12], e.Src[:])
+	if e.HasVLAN {
+		putBeUint16(buf[12:14], EtherTypeVLAN)
+		tci := uint16(e.Priority)<<13 | e.VLANID&0x0fff
+		putBeUint16(buf[14:16], tci)
+		putBeUint16(buf[16:18], e.EtherType)
+	} else {
+		putBeUint16(buf[12:14], e.EtherType)
+	}
+	return n, nil
+}

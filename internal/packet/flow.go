@@ -1,0 +1,49 @@
+package packet
+
+import "fmt"
+
+// FiveTuple identifies a transport flow: addresses, ports and protocol.
+// It is comparable and therefore usable directly as a map key; FastHash
+// provides a cheap non-cryptographic hash for sharding (the gopacket
+// Flow/Endpoint idea specialised to the 5-tuple).
+type FiveTuple struct {
+	Src, Dst         Addr4
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (f FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		Src: f.Dst, Dst: f.Src,
+		SrcPort: f.DstPort, DstPort: f.SrcPort,
+		Proto: f.Proto,
+	}
+}
+
+// FastHash returns a 64-bit hash that is symmetric under direction
+// reversal (A→B hashes like B→A), so both directions of a connection
+// shard to the same worker — the property gopacket documents for its
+// Flow.FastHash.
+func (f FiveTuple) FastHash() uint64 {
+	a := uint64(f.Src.Uint32())<<16 | uint64(f.SrcPort)
+	b := uint64(f.Dst.Uint32())<<16 | uint64(f.DstPort)
+	// Commutative mix keeps the hash direction-symmetric.
+	h := a*b + a + b + uint64(f.Proto)<<56
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// String renders e.g. "10.0.0.1:1234 -> 10.0.0.2:80/TCP".
+func (f FiveTuple) String() string {
+	proto := fmt.Sprintf("%d", f.Proto)
+	switch f.Proto {
+	case ProtoTCP:
+		proto = "TCP"
+	case ProtoUDP:
+		proto = "UDP"
+	}
+	return fmt.Sprintf("%s:%d -> %s:%d/%s", f.Src, f.SrcPort, f.Dst, f.DstPort, proto)
+}

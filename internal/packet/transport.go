@@ -1,0 +1,207 @@
+package packet
+
+import "fmt"
+
+// TCP is a TCP header. Options are preserved opaquely.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8 // header length in 32-bit words
+	Flags            TCPFlags
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+}
+
+// TCPFlags is the TCP flag byte.
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// Has reports whether all bits in f are set.
+func (t TCPFlags) Has(f TCPFlags) bool { return t&f == f }
+
+// String lists the set flags, e.g. "SYN|ACK".
+func (t TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"},
+		{FlagPSH, "PSH"}, {FlagACK, "ACK"}, {FlagURG, "URG"},
+	}
+	out := ""
+	for _, n := range names {
+		if t.Has(n.bit) {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// HeaderLen returns the header length in bytes.
+func (t *TCP) HeaderLen() int { return int(t.DataOffset) * 4 }
+
+// DecodeFromBytes parses a TCP header.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPMinHeaderLen {
+		return errTooShort(LayerTypeTCP, TCPMinHeaderLen, len(data))
+	}
+	t.SrcPort = beUint16(data[0:2])
+	t.DstPort = beUint16(data[2:4])
+	t.Seq = beUint32(data[4:8])
+	t.Ack = beUint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	hdrLen := t.HeaderLen()
+	if hdrLen < TCPMinHeaderLen {
+		return &DecodeError{Layer: LayerTypeTCP, Reason: fmt.Sprintf("data offset %d too small", t.DataOffset)}
+	}
+	if len(data) < hdrLen {
+		return errTooShort(LayerTypeTCP, hdrLen, len(data))
+	}
+	t.Flags = TCPFlags(data[13])
+	t.Window = beUint16(data[14:16])
+	t.Checksum = beUint16(data[16:18])
+	t.Urgent = beUint16(data[18:20])
+	if hdrLen > TCPMinHeaderLen {
+		t.Options = append(t.Options[:0], data[TCPMinHeaderLen:hdrLen]...)
+	} else {
+		t.Options = t.Options[:0]
+	}
+	return nil
+}
+
+// SerializeTo writes the header into buf (checksum zeroed; compute it
+// with ChecksumTCP over the full segment afterwards). It returns the
+// header length.
+func (t *TCP) SerializeTo(buf []byte) (int, error) {
+	optLen := (len(t.Options) + 3) &^ 3
+	hdrLen := TCPMinHeaderLen + optLen
+	if len(buf) < hdrLen {
+		return 0, errTooShort(LayerTypeTCP, hdrLen, len(buf))
+	}
+	t.DataOffset = uint8(hdrLen / 4)
+	putBeUint16(buf[0:2], t.SrcPort)
+	putBeUint16(buf[2:4], t.DstPort)
+	putBeUint32(buf[4:8], t.Seq)
+	putBeUint32(buf[8:12], t.Ack)
+	buf[12] = t.DataOffset << 4
+	buf[13] = uint8(t.Flags)
+	putBeUint16(buf[14:16], t.Window)
+	buf[16], buf[17] = 0, 0
+	putBeUint16(buf[18:20], t.Urgent)
+	for i := 0; i < optLen; i++ {
+		if i < len(t.Options) {
+			buf[TCPMinHeaderLen+i] = t.Options[i]
+		} else {
+			buf[TCPMinHeaderLen+i] = 0
+		}
+	}
+	return hdrLen, nil
+}
+
+// ChecksumTCP computes the TCP checksum over segment (header+payload,
+// with its checksum field zeroed) under the IPv4 pseudo-header and
+// stores it in the serialized bytes and in t.
+func (t *TCP) ChecksumTCP(src, dst Addr4, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, ProtoTCP, uint16(len(segment)))
+	t.Checksum = Checksum(segment, sum)
+	putBeUint16(segment[16:18], t.Checksum)
+	return t.Checksum
+}
+
+// VerifyChecksumTCP reports whether segment carries a valid TCP
+// checksum under the IPv4 pseudo-header.
+func VerifyChecksumTCP(src, dst Addr4, segment []byte) bool {
+	if len(segment) < TCPMinHeaderLen {
+		return false
+	}
+	sum := pseudoHeaderSum(src, dst, ProtoTCP, uint16(len(segment)))
+	return Checksum(segment, sum) == 0
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// DecodeFromBytes parses a UDP header.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return errTooShort(LayerTypeUDP, UDPHeaderLen, len(data))
+	}
+	u.SrcPort = beUint16(data[0:2])
+	u.DstPort = beUint16(data[2:4])
+	u.Length = beUint16(data[4:6])
+	u.Checksum = beUint16(data[6:8])
+	if int(u.Length) < UDPHeaderLen {
+		return &DecodeError{Layer: LayerTypeUDP, Reason: fmt.Sprintf("length %d too small", u.Length)}
+	}
+	if int(u.Length) > len(data) {
+		return &DecodeError{Layer: LayerTypeUDP, Reason: fmt.Sprintf("length %d exceeds captured %d", u.Length, len(data))}
+	}
+	return nil
+}
+
+// SerializeTo writes the header with Length covering payloadLen
+// (checksum zeroed; fill with ChecksumUDP). It returns UDPHeaderLen.
+func (u *UDP) SerializeTo(buf []byte, payloadLen int) (int, error) {
+	if len(buf) < UDPHeaderLen {
+		return 0, errTooShort(LayerTypeUDP, UDPHeaderLen, len(buf))
+	}
+	total := UDPHeaderLen + payloadLen
+	if total > 0xffff {
+		return 0, &DecodeError{Layer: LayerTypeUDP, Reason: "datagram too long"}
+	}
+	u.Length = uint16(total)
+	putBeUint16(buf[0:2], u.SrcPort)
+	putBeUint16(buf[2:4], u.DstPort)
+	putBeUint16(buf[4:6], u.Length)
+	buf[6], buf[7] = 0, 0
+	return UDPHeaderLen, nil
+}
+
+// ChecksumUDP computes the UDP checksum over datagram (header+payload,
+// checksum field zeroed) under the IPv4 pseudo-header, stores it in the
+// bytes and in u. Per RFC 768 a computed zero is transmitted as 0xffff.
+func (u *UDP) ChecksumUDP(src, dst Addr4, datagram []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, ProtoUDP, uint16(len(datagram)))
+	c := Checksum(datagram, sum)
+	if c == 0 {
+		c = 0xffff
+	}
+	u.Checksum = c
+	putBeUint16(datagram[6:8], c)
+	return c
+}
+
+// VerifyChecksumUDP reports whether datagram carries a valid UDP
+// checksum under the IPv4 pseudo-header. A zero checksum means
+// "not computed" and is accepted per RFC 768.
+func VerifyChecksumUDP(src, dst Addr4, datagram []byte) bool {
+	if len(datagram) < UDPHeaderLen {
+		return false
+	}
+	if beUint16(datagram[6:8]) == 0 {
+		return true
+	}
+	sum := pseudoHeaderSum(src, dst, ProtoUDP, uint16(len(datagram)))
+	return Checksum(datagram, sum) == 0
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LineChart renders one or more (x, y) series as an SVG line chart —
+// used for load-latency curves, frame-loss curves, and operating
+// curves. Like PlanePlot, output is deterministic and stdlib-only.
+
+// XY is one sample of a series.
+type XY struct {
+	X, Y float64
+}
+
+// Series is a named polyline.
+type Series struct {
+	Name   string
+	Points []XY
+	// Dashed renders the polyline dashed.
+	Dashed bool
+}
+
+// LineChart is the chart description.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// seriesColors is a small colorblind-safe palette.
+var seriesColors = []string{"#2563eb", "#d97706", "#059669", "#dc2626", "#7c3aed", "#0891b2"}
+
+// SVG renders the chart.
+func (c *LineChart) SVG() string {
+	maxX, maxY := 0.0, 0.0
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxX *= 1.05
+	maxY *= 1.1
+
+	x := func(v float64) float64 { return marginL + v/maxX*plotW }
+	y := func(v float64) float64 { return svgH - marginB - v/maxY*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", svgW, svgH, svgW, svgH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="14" font-family="sans-serif" font-weight="bold">%s</text>`+"\n", marginL, marginT-10, esc(c.Title))
+
+	// Axes and ticks.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, svgH-marginB, svgW-marginR, svgH-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT, marginL, svgH-marginB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" font-family="sans-serif">%s</text>`+"\n", marginL+plotW/2-40, svgH-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-size="12" font-family="sans-serif" transform="rotate(-90 14 %d)">%s</text>`+"\n", marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+	for i := 0; i <= 5; i++ {
+		cx := maxX * float64(i) / 5
+		cy := maxY * float64(i) / 5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n", x(cx), svgH-marginB, x(cx), svgH-marginB+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n", x(cx), svgH-marginB+16, tick(cx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n", marginL-4, y(cy), marginL, y(cy))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="end">%s</text>`+"\n", marginL-6, y(cy)+3, tick(cy))
+	}
+
+	// Series polylines + legend.
+	for i, s := range c.Series {
+		color := seriesColors[i%len(seriesColors)]
+		if len(s.Points) > 0 {
+			var pts []string
+			for _, p := range s.Points {
+				if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(p.X), y(p.Y)))
+			}
+			dash := ""
+			if s.Dashed {
+				dash = ` stroke-dasharray="6,4"`
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n",
+				strings.Join(pts, " "), color, dash)
+			for _, p := range s.Points {
+				if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x(p.X), y(p.Y), color)
+			}
+		}
+		// Legend entry.
+		ly := marginT + 8 + i*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`+"\n", svgW-marginR-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n", svgW-marginR-132, ly+5, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

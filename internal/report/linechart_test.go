@@ -1,0 +1,66 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartSVG(t *testing.T) {
+	c := &LineChart{
+		Title:  "Frame loss vs offered load",
+		XLabel: "Offered (Mpps)",
+		YLabel: "Loss (%)",
+		Series: []Series{
+			{Name: "fw-host", Points: []XY{{1, 0}, {3, 0}, {6, 45}, {9, 63}}},
+			{Name: "fw-smartnic", Points: []XY{{1, 0}, {6, 0}, {9, 12}}, Dashed: true},
+		},
+	}
+	svg := c.SVG()
+	for _, frag := range []string{
+		"<svg", "</svg>", "Frame loss vs offered load", "Offered (Mpps)",
+		"fw-host", "fw-smartnic", "<polyline", "stroke-dasharray",
+	} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polylines = %d", strings.Count(svg, "<polyline"))
+	}
+	// Markers: 4 + 3 points.
+	if strings.Count(svg, "<circle") != 7 {
+		t.Errorf("markers = %d", strings.Count(svg, "<circle"))
+	}
+	if c.SVG() != svg {
+		t.Error("line chart not deterministic")
+	}
+}
+
+func TestLineChartEmptyAndNaN(t *testing.T) {
+	c := &LineChart{Title: "empty", XLabel: "x", YLabel: "y"}
+	svg := c.SVG()
+	if !strings.Contains(svg, "<svg") {
+		t.Error("empty chart should still render axes")
+	}
+	c2 := &LineChart{
+		Title: "nan", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", Points: []XY{{1, 1}, {math.NaN(), 2}, {3, 3}}}},
+	}
+	svg2 := c2.SVG()
+	if strings.Contains(svg2, "NaN") {
+		t.Error("NaN must not leak into SVG coordinates")
+	}
+}
+
+func TestLineChartColorCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 8; i++ {
+		series = append(series, Series{Name: string(rune('a' + i)), Points: []XY{{0, 1}, {1, 2}}})
+	}
+	svg := (&LineChart{Title: "many", XLabel: "x", YLabel: "y", Series: series}).SVG()
+	// The palette wraps; the first color must appear at least twice.
+	if strings.Count(svg, seriesColors[0]) < 2 {
+		t.Error("palette should cycle for >6 series")
+	}
+}

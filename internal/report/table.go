@@ -1,0 +1,148 @@
+// Package report renders evaluation artifacts: aligned text and
+// Markdown tables, CSV series, and SVG scatter plots of the
+// performance-cost plane with comparison-region shading (the paper's
+// Figures 1-3). Everything is stdlib-only and deterministic, so figure
+// regeneration is diffable.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple rectangular table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable builds a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row, padding or truncating to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cols ...any) {
+	parts := strings.Split(fmt.Sprintf(format, cols...), "|")
+	t.AddRow(parts...)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len([]rune(h))
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if n := len([]rune(c)); i < len(w) && n > w[i] {
+				w[i] = n
+			}
+		}
+	}
+	return w
+}
+
+// Text renders an aligned plain-text table.
+func (t *Table) Text() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, w[i]))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", w[i])
+	}
+	line(rule)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Markdown renders a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		escaped := make([]string, len(r))
+		for i, c := range r {
+			escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(escaped, " | "))
+	}
+	return b.String()
+}
+
+// CSV renders RFC 4180-style CSV (quoting cells containing commas,
+// quotes or newlines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	n := len([]rune(s))
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// Check renders a boolean as the ✓/✗ convention used in the scorecard
+// tables.
+func Check(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "✗"
+}

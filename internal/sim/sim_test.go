@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	mustAt := func(at Time, id int) {
+		t.Helper()
+		if err := s.At(at, func() { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAt(3, 3)
+	mustAt(1, 1)
+	mustAt(2, 2)
+	s.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v, want 3", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Errorf("Processed = %d", s.Processed())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := s.At(5, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunAll()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-break order = %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastFails(t *testing.T) {
+	s := New()
+	_ = s.At(10, func() {})
+	s.RunAll()
+	if err := s.At(5, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("past event err = %v", err)
+	}
+	if err := s.After(-1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("negative delay err = %v", err)
+	}
+	if err := s.At(Time(math.NaN()), func() {}); err == nil {
+		t.Error("NaN time should fail")
+	}
+	if err := s.At(Time(math.Inf(1)), func() {}); err == nil {
+		t.Error("infinite time should fail")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New()
+	ran := 0
+	_ = s.At(1, func() { ran++ })
+	_ = s.At(2, func() { ran++ })
+	_ = s.At(10, func() { ran++ })
+	s.Run(5)
+	if ran != 2 {
+		t.Errorf("ran %d events before horizon, want 2", ran)
+	}
+	if s.Now() != 5 {
+		t.Errorf("clock should settle at the horizon: %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	// Resuming past the horizon runs the remaining event.
+	s.Run(20)
+	if ran != 3 || s.Now() != 20 {
+		t.Errorf("after resume: ran=%d now=%v", ran, s.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New()
+	var times []Time
+	var chain func()
+	chain = func() {
+		times = append(times, s.Now())
+		if len(times) < 5 {
+			if err := s.After(1, chain); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	_ = s.At(0, chain)
+	s.RunAll()
+	want := []Time{0, 1, 2, 3, 4}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New()
+	ran := 0
+	_ = s.At(1, func() { ran++; s.Halt() })
+	_ = s.At(2, func() { ran++ })
+	s.RunAll()
+	if ran != 1 {
+		t.Errorf("Halt should stop the loop: ran=%d", ran)
+	}
+	s.RunAll()
+	if ran != 2 {
+		t.Errorf("resume after halt: ran=%d", ran)
+	}
+}
+
+func TestTimeDuration(t *testing.T) {
+	if Time(1.5).Duration() != 1500*time.Millisecond {
+		t.Errorf("Duration = %v", Time(1.5).Duration())
+	}
+	if Time(2).Seconds() != 2 {
+		t.Error("Seconds")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Same seed and same construction order → identical event traces.
+	run := func() []float64 {
+		s := New()
+		rng := NewRNG(42)
+		var trace []float64
+		var gen func()
+		n := 0
+		gen = func() {
+			trace = append(trace, s.Now().Seconds(), rng.Float64())
+			n++
+			if n < 100 {
+				_ = s.After(rng.Exp(10), gen)
+			}
+		}
+		_ = s.At(0, gen)
+		s.RunAll()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,406 @@
+// Package testbed assembles simulated heterogeneous deployments — hosts
+// with CPU cores, optionally fronted by a SmartNIC, a programmable
+// switch, or an FPGA — runs traffic through their network functions,
+// and reports measured performance (throughput, latency, loss,
+// fairness) together with composed cost (power, end-to-end per
+// Principle 3).
+//
+// A Deployment is the simulated stand-in for one of the paper's example
+// systems: "software firewall on N cores", "firewall with SmartNIC
+// offload", "firewall behind a programmable switch". Its Run method
+// produces the (performance, cost) points the core methodology
+// compares.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"fairbench/internal/cost"
+	"fairbench/internal/hw"
+	"fairbench/internal/measure"
+	"fairbench/internal/nf"
+	"fairbench/internal/packet"
+	"fairbench/internal/perf"
+	"fairbench/internal/sim"
+	"fairbench/internal/workload"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// Name labels the deployment in reports.
+	Name string
+	// Cores is the number of host dataplane cores (default 1).
+	Cores int
+	// CoreCfg configures each core.
+	CoreCfg hw.CPUConfig
+	// ChassisWatts is the host's fixed power overhead (default 15 W).
+	ChassisWatts float64
+	// ChassisRackUnits is the host's rack occupancy (default 1).
+	ChassisRackUnits float64
+	// NICWatts is the regular NIC's power (default 5 W). Ignored when
+	// a SmartNIC is configured (the SmartNIC replaces it).
+	NICWatts float64
+	// NICRateBps is the NIC line rate (default 100 Gb/s).
+	NICRateBps float64
+
+	// SmartNIC, when non-nil, adds a flow-offload SmartNIC.
+	SmartNIC *hw.SmartNICConfig
+	// Switch, when non-nil, adds a programmable-switch preprocessor
+	// running SwitchRules.
+	Switch      *hw.SwitchConfig
+	SwitchRules []nf.Rule
+	// FPGA, when non-nil, runs the whole network function in an FPGA
+	// pipeline; host cores only see overflow... nothing (overflow is
+	// dropped), so Cores may be 0.
+	FPGA *hw.FPGAConfig
+
+	// NewNF builds a network-function instance for core i. Each core
+	// gets its own instance (shared-nothing, as real dataplanes do).
+	// Required unless FPGA is set, in which case a single functional
+	// instance provides verdicts.
+	NewNF func(core int) (nf.Func, error)
+
+	// MutatesFrames must be set when the NF rewrites packets (NAT,
+	// LB) so the harness hands it private frame copies.
+	MutatesFrames bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 && c.FPGA == nil {
+		c.Cores = 1
+	}
+	if c.ChassisWatts == 0 {
+		c.ChassisWatts = 15
+	}
+	if c.ChassisRackUnits == 0 {
+		c.ChassisRackUnits = 1
+	}
+	if c.NICWatts == 0 {
+		c.NICWatts = 5
+	}
+	if c.NICRateBps == 0 {
+		c.NICRateBps = 100e9
+	}
+	return c
+}
+
+// Deployment is an assembled system ready to run traffic.
+type Deployment struct {
+	cfg Config
+	s   *sim.Sim
+
+	chassis  *hw.Chassis
+	nic      *hw.NIC
+	cores    []*hw.Core
+	smartnic *hw.SmartNIC
+	sw       *hw.Switch
+	fpga     *hw.FPGA
+
+	nfs     []nf.Func
+	parsers []*packet.Parser
+}
+
+// New assembles a deployment.
+func New(cfg Config) (*Deployment, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NewNF == nil {
+		return nil, fmt.Errorf("testbed: %s: NewNF is required", cfg.Name)
+	}
+	if cfg.Cores < 0 {
+		return nil, fmt.Errorf("testbed: %s: negative core count", cfg.Name)
+	}
+	if cfg.FPGA != nil && (cfg.SmartNIC != nil || cfg.Switch != nil) {
+		return nil, fmt.Errorf("testbed: %s: FPGA deployments cannot also have SmartNIC/switch", cfg.Name)
+	}
+	d := &Deployment{cfg: cfg, s: sim.New()}
+	d.chassis = hw.NewChassis(cfg.Name+"/chassis", cfg.ChassisWatts, cfg.ChassisRackUnits)
+
+	nInstances := cfg.Cores
+	if cfg.FPGA != nil && nInstances == 0 {
+		nInstances = 1 // functional instance for verdicts
+	}
+	for i := 0; i < nInstances; i++ {
+		f, err := cfg.NewNF(i)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: %s: building NF for core %d: %w", cfg.Name, i, err)
+		}
+		d.nfs = append(d.nfs, f)
+		d.parsers = append(d.parsers, packet.NewParser())
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		d.cores = append(d.cores, hw.NewCore(fmt.Sprintf("%s/core%d", cfg.Name, i), d.s, cfg.CoreCfg))
+	}
+	switch {
+	case cfg.SmartNIC != nil:
+		d.smartnic = hw.NewSmartNIC(cfg.Name+"/smartnic", d.s, *cfg.SmartNIC)
+	default:
+		d.nic = hw.NewNIC(cfg.Name+"/nic", cfg.NICRateBps, cfg.NICWatts)
+	}
+	if cfg.Switch != nil {
+		d.sw = hw.NewSwitch(cfg.Name+"/switch", *cfg.Switch)
+		d.sw.InstallRules(cfg.SwitchRules)
+	}
+	if cfg.FPGA != nil {
+		d.fpga = hw.NewFPGA(cfg.Name+"/fpga", d.s, *cfg.FPGA)
+	}
+	return d, nil
+}
+
+// Name returns the deployment name.
+func (d *Deployment) Name() string { return d.cfg.Name }
+
+// Devices lists every powered component, in a stable order.
+func (d *Deployment) Devices() []hw.Device {
+	out := []hw.Device{d.chassis}
+	if d.nic != nil {
+		out = append(out, d.nic)
+	}
+	if d.smartnic != nil {
+		out = append(out, d.smartnic)
+	}
+	for _, c := range d.cores {
+		out = append(out, c)
+	}
+	if d.sw != nil {
+		out = append(out, d.sw)
+	}
+	if d.fpga != nil {
+		out = append(out, d.fpga)
+	}
+	return out
+}
+
+// Components returns the cost components for end-to-end composition.
+func (d *Deployment) Components() []cost.Component {
+	return hw.ComponentsOf(d.Devices()...)
+}
+
+// ProvisionedPowerWatts composes peak power across all devices.
+func (d *Deployment) ProvisionedPowerWatts() (float64, error) {
+	return hw.TotalPowerWatts(d.Devices()...)
+}
+
+// SmartNIC exposes the SmartNIC model (nil if absent) for tests.
+func (d *Deployment) SmartNIC() *hw.SmartNIC { return d.smartnic }
+
+// Switch exposes the switch model (nil if absent) for tests.
+func (d *Deployment) Switch() *hw.Switch { return d.sw }
+
+// Result is the measured outcome of a Run.
+type Result struct {
+	Name     string
+	Duration time.Duration
+
+	Offered, Processed, Forwarded perf.Throughput
+	LossFraction                  float64
+
+	LatencyMeanUs, LatencyP50Us, LatencyP99Us float64
+	JFI                                       float64
+
+	// AvgPowerWatts integrates each device's energy over the run.
+	AvgPowerWatts float64
+	// ProvisionedPowerWatts is the peak-power cost figure (the number
+	// the paper's examples report).
+	ProvisionedPowerWatts float64
+	// PerDeviceAvgWatts itemises average power.
+	PerDeviceAvgWatts map[string]float64
+}
+
+// Run offers traffic at offeredPps for the given simulated duration and
+// returns the measurement. Each call uses a fresh simulation clock; a
+// Deployment should be Run once (build a new one per experiment point).
+func (d *Deployment) Run(gen *workload.Generator, arrival workload.Arrival, offeredPps, durationSeconds float64) (Result, error) {
+	if offeredPps <= 0 || durationSeconds <= 0 {
+		return Result{}, fmt.Errorf("testbed: invalid run params pps=%v duration=%v", offeredPps, durationSeconds)
+	}
+	return d.runInjected(arrival, offeredPps, durationSeconds, gen.ArrivalRNG(),
+		func(tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter) error {
+			var pk workload.Pkt
+			var err error
+			if d.cfg.MutatesFrames {
+				pk, err = gen.NextCopy()
+			} else {
+				pk, err = gen.Next()
+			}
+			if err != nil {
+				return err
+			}
+			tput.Offer(len(pk.Frame))
+			d.dispatch(pk, tput, lat, fair)
+			return nil
+		})
+}
+
+// injector produces and offers one packet per arrival event.
+type injector func(*measure.ThroughputMeter, *measure.LatencyMeter, *measure.FairnessMeter) error
+
+// runInjected drives the arrival process, calling inject per arrival,
+// then drains and collects the measurement.
+func (d *Deployment) runInjected(arrival workload.Arrival, offeredPps, durationSeconds float64, arrRng *sim.RNG, inject injector) (Result, error) {
+	var (
+		tput    measure.ThroughputMeter
+		lat     = measure.NewLatencyMeter()
+		fair    = measure.NewFairnessMeter()
+		horizon = sim.Time(durationSeconds)
+		injErr  error
+	)
+	tput.Start(0)
+
+	var schedule func(at sim.Time)
+	schedule = func(at sim.Time) {
+		if at > horizon {
+			return
+		}
+		if err := d.s.At(at, func() {
+			if err := inject(&tput, lat, fair); err != nil && injErr == nil {
+				injErr = err
+				d.s.Halt()
+				return
+			}
+			schedule(at + sim.Time(arrival.NextGap(arrRng, offeredPps)))
+		}); err != nil && injErr == nil {
+			injErr = err
+		}
+	}
+	schedule(sim.Time(arrival.NextGap(arrRng, offeredPps)))
+
+	// Run past the horizon so in-flight packets drain (bounded by the
+	// largest plausible queueing delay).
+	d.s.Run(horizon + 1)
+	if injErr != nil {
+		return Result{}, injErr
+	}
+	tput.Stop(horizon)
+	return d.collect(&tput, lat, fair, horizon)
+}
+
+// collect assembles the Result from the meters and device energy.
+func (d *Deployment) collect(tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter, end sim.Time) (Result, error) {
+	res := Result{
+		Name:          d.cfg.Name,
+		Duration:      end.Duration(),
+		Offered:       tput.Offered(),
+		Processed:     tput.Processed(),
+		Forwarded:     tput.Forwarded(),
+		LossFraction:  tput.LossFraction(),
+		LatencyMeanUs: lat.Summary().Mean / 1e3,
+		LatencyP50Us:  lat.P50Micros(),
+		LatencyP99Us:  lat.P99Micros(),
+		JFI:           fair.JFI(),
+	}
+	var energy float64
+	res.PerDeviceAvgWatts = make(map[string]float64)
+	for _, dev := range d.Devices() {
+		e := dev.EnergyJoules(end)
+		energy += e
+		res.PerDeviceAvgWatts[dev.Name()] = e / end.Seconds()
+	}
+	res.AvgPowerWatts = energy / end.Seconds()
+	var err error
+	res.ProvisionedPowerWatts, err = d.ProvisionedPowerWatts()
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// dispatch pushes one offered packet through the deployment's path.
+func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter) {
+	size := len(pk.Frame)
+	extraLatency := 0.0
+
+	// Stage 1: programmable switch preprocessing at line rate.
+	if d.sw != nil {
+		verdict, swLat := d.sw.Process(pk.Flow)
+		if verdict == nf.Drop {
+			// Pre-dropped in-network: processed work, not forwarded.
+			tput.Process(size, false)
+			_ = lat.RecordSeconds(swLat)
+			return
+		}
+		extraLatency += swLat
+	}
+
+	// Stage 2: FPGA full offload.
+	if d.fpga != nil {
+		verdict := d.functionalVerdict(pk)
+		if !d.fpga.Submit(func(l float64) {
+			forwarded := verdict != nf.Drop
+			tput.Process(size, forwarded)
+			if forwarded {
+				fair.Record(pk.Flow, size)
+			}
+			_ = lat.RecordSeconds(l + extraLatency)
+		}) {
+			tput.Lose()
+		}
+		return
+	}
+
+	// Stage 3: SmartNIC fast path for established flows.
+	if d.smartnic != nil {
+		flow := pk.Flow
+		if d.smartnic.Offload(flow, func(l float64) {
+			tput.Process(size, true)
+			fair.Record(flow, size)
+			_ = lat.RecordSeconds(l + extraLatency)
+		}) {
+			return
+		}
+	}
+
+	// Stage 4: host slow path.
+	d.hostPath(pk, size, extraLatency, tput, lat, fair)
+}
+
+// hostPath runs the NF on the packet's RSS core.
+func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter) {
+	if len(d.cores) == 0 {
+		tput.Lose()
+		return
+	}
+	coreID := hw.RSS(pk.Flow, len(d.cores))
+	parser := d.parsers[coreID]
+	if err := parser.Parse(pk.Frame); err != nil {
+		tput.Lose()
+		return
+	}
+	res, err := d.nfs[coreID].Process(parser, pk.Frame)
+	if err != nil {
+		tput.Lose()
+		return
+	}
+	flow := pk.Flow
+	ok := d.cores[coreID].Submit(res.Cycles, func(l float64) {
+		forwarded := res.Verdict != nf.Drop
+		tput.Process(size, forwarded)
+		if forwarded {
+			fair.Record(flow, size)
+		}
+		_ = lat.RecordSeconds(l + extraLatency)
+		// Install the offload entry once the host has vetted the flow.
+		if d.smartnic != nil && forwarded {
+			d.smartnic.Install(flow)
+		}
+	})
+	if !ok {
+		tput.Lose()
+	}
+}
+
+// functionalVerdict evaluates the NF logic for the FPGA path (the
+// pipeline implements the same function in hardware; we reuse the Go
+// implementation for the decision while the FPGA model provides
+// timing).
+func (d *Deployment) functionalVerdict(pk workload.Pkt) nf.Verdict {
+	parser := d.parsers[0]
+	if err := parser.Parse(pk.Frame); err != nil {
+		return nf.Drop
+	}
+	res, err := d.nfs[0].Process(parser, pk.Frame)
+	if err != nil {
+		return nf.Drop
+	}
+	return res.Verdict
+}

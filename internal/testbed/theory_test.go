@@ -1,0 +1,146 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"fairbench/internal/hw"
+	"fairbench/internal/nf"
+	"fairbench/internal/packet"
+	"fairbench/internal/workload"
+)
+
+// Validation against queueing theory: the simulator's core model is a
+// single-server FIFO queue, so with Poisson arrivals and deterministic
+// service it must reproduce M/D/1 behaviour, and with constant-rate
+// arrivals, D/D/1. Matching closed-form results is the strongest
+// correctness evidence a simulator can offer.
+
+// constantCostNF charges a fixed cycle cost regardless of content, so
+// service times are deterministic.
+type constantCostNF struct{ cycles uint64 }
+
+func (c constantCostNF) Name() string { return "constant" }
+func (c constantCostNF) Process(*packet.Parser, []byte) (nf.Result, error) {
+	return nf.Result{Verdict: nf.Accept, Cycles: c.cycles}, nil
+}
+
+// theoryDeployment builds a 1-core deployment with deterministic
+// service time and no fixed host latency.
+func theoryDeployment(t *testing.T, nfCycles uint64) *Deployment {
+	t.Helper()
+	d, err := New(Config{
+		Name:  "theory",
+		Cores: 1,
+		CoreCfg: hw.CPUConfig{
+			FreqHz:              1e9,
+			OverheadCycles:      1, // uint64 zero means default; 1 cycle ≈ 0
+			QueueDepth:          1 << 20,
+			FixedLatencySeconds: -1,
+		},
+		NewNF: func(int) (nf.Func, error) { return constantCostNF{cycles: nfCycles}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMD1MeanWaitMatchesTheory(t *testing.T) {
+	// M/D/1: mean waiting time W = ρ·s / (2(1−ρ)), sojourn = W + s.
+	// Service s = 1000 cycles at 1 GHz ≈ 1 µs (+1 overhead cycle).
+	const (
+		serviceSec = 1001e-9
+		rho        = 0.7
+	)
+	lambda := rho / serviceSec
+	d := theoryDeployment(t, 1000)
+	g, err := workload.NewGenerator(workload.Spec{Flows: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(g, workload.Poisson{}, lambda, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSojourn := serviceSec + rho*serviceSec/(2*(1-rho))
+	gotSojourn := res.LatencyMeanUs * 1e-6
+	if math.Abs(gotSojourn-wantSojourn)/wantSojourn > 0.08 {
+		t.Errorf("M/D/1 mean sojourn = %.3f µs, theory %.3f µs (ρ=%.1f)",
+			gotSojourn*1e6, wantSojourn*1e6, rho)
+	}
+	if res.LossFraction != 0 {
+		t.Errorf("loss below capacity = %v", res.LossFraction)
+	}
+}
+
+func TestMD1UtilizationSweep(t *testing.T) {
+	// Mean wait grows as ρ/(1-ρ): check the ratio at two loads.
+	const serviceSec = 1001e-9
+	wait := func(rho float64) float64 {
+		d := theoryDeployment(t, 1000)
+		g, err := workload.NewGenerator(workload.Spec{Flows: 1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run(g, workload.Poisson{}, rho/serviceSec, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LatencyMeanUs*1e-6 - serviceSec
+	}
+	w50, w90 := wait(0.5), wait(0.9)
+	// Theory: W(0.9)/W(0.5) = (0.9/0.1)/(0.5/0.5) = 9.
+	ratio := w90 / w50
+	if ratio < 6 || ratio > 12 {
+		t.Errorf("wait ratio W(0.9)/W(0.5) = %.2f, theory 9", ratio)
+	}
+}
+
+func TestDD1NoQueueingBelowCapacity(t *testing.T) {
+	// D/D/1 with λ < µ: zero queueing — sojourn equals service time
+	// exactly for every packet.
+	const serviceSec = 1001e-9
+	d := theoryDeployment(t, 1000)
+	g, err := workload.NewGenerator(workload.Spec{Flows: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(g, workload.CBR{}, 0.8/serviceSec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUs := serviceSec * 1e6
+	if math.Abs(res.LatencyP99Us-wantUs)/wantUs > 0.05 {
+		t.Errorf("D/D/1 p99 sojourn = %.4f µs, want service time %.4f µs", res.LatencyP99Us, wantUs)
+	}
+}
+
+func TestOverloadLossMatchesFluidLimit(t *testing.T) {
+	// At λ > µ with a deep queue, the loss fraction approaches
+	// 1 − µ/λ (the fluid limit) once the queue fills.
+	const serviceSec = 1001e-9
+	mu := 1 / serviceSec
+	lambda := 2 * mu
+	d := theoryDeployment(t, 1000)
+	// Shallow queue so the fill transient is negligible.
+	d.cores[0] = hw.NewCore("theory/core0", d.s, hw.CPUConfig{
+		FreqHz: 1e9, OverheadCycles: 1, QueueDepth: 64, FixedLatencySeconds: -1,
+	})
+	g, err := workload.NewGenerator(workload.Spec{Flows: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(g, workload.CBR{}, lambda, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - mu/lambda // 0.5
+	if math.Abs(res.LossFraction-want) > 0.02 {
+		t.Errorf("overload loss = %.4f, fluid limit %.4f", res.LossFraction, want)
+	}
+	// Processed rate pins at capacity.
+	if math.Abs(res.Processed.PacketsPerSecond()-mu)/mu > 0.02 {
+		t.Errorf("processed = %v pps, capacity %v", res.Processed.PacketsPerSecond(), mu)
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+
+	"fairbench/internal/sim"
+)
+
+// OnOff is a two-state bursty arrival process (a Markov-modulated
+// Poisson process): the source alternates between an ON state emitting
+// at a multiple of the nominal rate and an OFF state emitting almost
+// nothing, with exponentially distributed sojourn times. The long-run
+// average rate equals the nominal rate, so throughput comparisons stay
+// fair while burst-sensitivity (queue depths, SmartNIC punting,
+// back-to-back tolerance) is exercised.
+type OnOff struct {
+	// OnFraction is the long-run fraction of time spent ON, in (0, 1)
+	// (default 0.2 — bursty).
+	OnFraction float64
+	// MeanCycleSeconds is the mean ON+OFF cycle length (default 2 ms).
+	MeanCycleSeconds float64
+	// OffRateFraction is the OFF-state rate as a fraction of nominal
+	// (default 0.01; zero would starve the arrival loop).
+	OffRateFraction float64
+
+	on        bool
+	remaining float64 // seconds left in the current state
+	init      bool
+}
+
+func (o *OnOff) params() (onFrac, cycle, offFrac float64) {
+	onFrac = o.OnFraction
+	if onFrac <= 0 || onFrac >= 1 {
+		onFrac = 0.2
+	}
+	cycle = o.MeanCycleSeconds
+	if cycle <= 0 {
+		cycle = 2e-3
+	}
+	offFrac = o.OffRateFraction
+	if offFrac <= 0 || offFrac >= 1 {
+		offFrac = 0.01
+	}
+	return
+}
+
+// Name implements Arrival.
+func (o *OnOff) Name() string {
+	onFrac, cycle, _ := o.params()
+	return fmt.Sprintf("onoff-%.0f%%-%.1fms", onFrac*100, cycle*1e3)
+}
+
+// NextGap implements Arrival. The ON-state rate is chosen so the
+// long-run average equals pps:
+//
+//	onRate·onFrac + offRate·(1-onFrac) = pps
+func (o *OnOff) NextGap(rng *sim.RNG, pps float64) float64 {
+	onFrac, cycle, offFrac := o.params()
+	offRate := pps * offFrac
+	onRate := (pps - offRate*(1-onFrac)) / onFrac
+
+	if !o.init {
+		o.init = true
+		o.on = rng.Float64() < onFrac
+		o.remaining = o.sojourn(rng, onFrac, cycle)
+	}
+
+	var gap float64
+	for {
+		rate := offRate
+		if o.on {
+			rate = onRate
+		}
+		step := rng.Exp(rate)
+		if step <= o.remaining {
+			o.remaining -= step
+			gap += step
+			return gap
+		}
+		// The state expires before the next arrival: advance time to
+		// the state boundary and flip.
+		gap += o.remaining
+		o.on = !o.on
+		o.remaining = o.sojourn(rng, onFrac, cycle)
+	}
+}
+
+// sojourn draws the next state's duration: mean onFrac·cycle for ON,
+// (1-onFrac)·cycle for OFF.
+func (o *OnOff) sojourn(rng *sim.RNG, onFrac, cycle float64) float64 {
+	mean := (1 - onFrac) * cycle
+	if o.on {
+		mean = onFrac * cycle
+	}
+	return rng.Exp(1 / mean)
+}

@@ -1,0 +1,78 @@
+package fairbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunOperatingCurves(t *testing.T) {
+	res, err := RunOperatingCurves(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []OperatingCurve{res.Baseline, res.Proposed} {
+		if len(c.Points) != 5 {
+			t.Fatalf("%s: points = %d", c.System, len(c.Points))
+		}
+		prevPower := 0.0
+		for i, p := range c.Points {
+			// Average power grows with load and never exceeds
+			// provisioned power.
+			if p.AvgPowerWatts < prevPower-0.5 {
+				t.Errorf("%s: avg power not increasing with load: %v after %v",
+					c.System, p.AvgPowerWatts, prevPower)
+			}
+			prevPower = p.AvgPowerWatts
+			if p.AvgPowerWatts > p.ProvisionedWatts+1e-9 {
+				t.Errorf("%s: avg power %v exceeds provisioned %v",
+					c.System, p.AvgPowerWatts, p.ProvisionedWatts)
+			}
+			if p.ProcessedGbps <= 0 || p.EnergyPerBitNJ <= 0 {
+				t.Errorf("%s point %d: %+v", c.System, i, p)
+			}
+		}
+		// Energy per bit improves (falls) with load: fixed power
+		// amortises over more bits.
+		first, last := c.Points[0].EnergyPerBitNJ, c.Points[len(c.Points)-1].EnergyPerBitNJ
+		if last >= first {
+			t.Errorf("%s: energy-per-bit should fall with load: %v -> %v", c.System, first, last)
+		}
+	}
+	// The SmartNIC system's energy-per-bit at high load beats the
+	// baseline's (the whole point of the accelerator).
+	bLast := res.Baseline.Points[len(res.Baseline.Points)-1].EnergyPerBitNJ
+	pLast := res.Proposed.Points[len(res.Proposed.Points)-1].EnergyPerBitNJ
+	if pLast >= bLast {
+		t.Errorf("smartnic nJ/bit (%v) should beat baseline (%v) at high load", pLast, bLast)
+	}
+
+	rep := OperatingCurveReport(res)
+	if !strings.Contains(rep, "nJ/bit") || !strings.Contains(rep, "fw-smartnic") {
+		t.Errorf("report incomplete:\n%s", rep)
+	}
+	csv := OperatingCurveCSV(res)
+	if !strings.HasPrefix(csv, "system,load_fraction") {
+		t.Errorf("csv header wrong: %s", csv[:60])
+	}
+	if strings.Count(csv, "\n") != 11 { // header + 10 rows
+		t.Errorf("csv rows = %d", strings.Count(csv, "\n"))
+	}
+}
+
+func TestSensitivityReport(t *testing.T) {
+	// Use synthetic measured systems (no simulation needed).
+	e6 := SmartNICResult{
+		Baseline1: MeasuredSystem{Name: "fw-host-1core", ThroughputGbps: 9.26, PowerWatts: 50},
+		Baseline2: MeasuredSystem{Name: "fw-host-2core", ThroughputGbps: 15.5, PowerWatts: 80},
+		Proposed:  MeasuredSystem{Name: "fw-smartnic", ThroughputGbps: 21.7, PowerWatts: 70},
+	}
+	out, err := SensitivityReport(e6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"±5% measurement error", "proposed-superior", "625"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("sensitivity report missing %q:\n%s", frag, out)
+		}
+	}
+}

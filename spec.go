@@ -1,0 +1,205 @@
+package fairbench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fairbench/internal/core"
+	"fairbench/internal/metric"
+	"fairbench/internal/report"
+)
+
+// Spec is a declarative comparison: a proposed system, one or more
+// baselines, and the plane to compare in. It is the JSON input of the
+// fairbench command, so an evaluation can be shipped alongside a paper
+// and re-run by reviewers.
+type Spec struct {
+	// Plane selects the comparison space: "throughput-power" (default)
+	// or "latency-power".
+	Plane string `json:"plane"`
+	// Tolerance is the same-regime relative tolerance (default 0.02).
+	Tolerance float64 `json:"tolerance"`
+	// Proposed is the system under evaluation.
+	Proposed SpecSystem `json:"proposed"`
+	// Baselines are the systems compared against.
+	Baselines []SpecSystem `json:"baselines"`
+}
+
+// SpecSystem is one measured system in a Spec.
+type SpecSystem struct {
+	Name string `json:"name"`
+	// Perf is the performance value in the plane's unit (Gb/s for
+	// throughput-power, µs for latency-power).
+	Perf float64 `json:"perf"`
+	// Cost is the cost value in the plane's unit (W).
+	Cost float64 `json:"cost"`
+	// Scalable marks horizontally scalable systems (enables ideal
+	// scaling for baselines).
+	Scalable bool `json:"scalable"`
+	// UtilizedFraction is the fraction of the costed hardware in use
+	// (0 means fully used); see the §4.2.1 coverage pitfall.
+	UtilizedFraction float64 `json:"utilized_fraction,omitempty"`
+}
+
+// Plane name constants for Spec.Plane.
+const (
+	PlaneThroughputPower = "throughput-power"
+	PlaneLatencyPower    = "latency-power"
+)
+
+// ParseSpec decodes and validates a JSON spec.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("fairbench: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the spec for usability.
+func (s Spec) Validate() error {
+	switch s.Plane {
+	case "", PlaneThroughputPower, PlaneLatencyPower:
+	default:
+		return fmt.Errorf("fairbench: unknown plane %q (want %q or %q)", s.Plane, PlaneThroughputPower, PlaneLatencyPower)
+	}
+	if s.Tolerance < 0 {
+		return fmt.Errorf("fairbench: negative tolerance %v", s.Tolerance)
+	}
+	if s.Proposed.Name == "" {
+		return fmt.Errorf("fairbench: proposed system needs a name")
+	}
+	if len(s.Baselines) == 0 {
+		return fmt.Errorf("fairbench: spec needs at least one baseline")
+	}
+	check := func(sys SpecSystem) error {
+		if sys.Name == "" {
+			return fmt.Errorf("fairbench: baseline needs a name")
+		}
+		if sys.Perf < 0 || sys.Cost < 0 {
+			return fmt.Errorf("fairbench: system %q has negative perf/cost", sys.Name)
+		}
+		if sys.UtilizedFraction < 0 || sys.UtilizedFraction > 1 {
+			return fmt.Errorf("fairbench: system %q utilized_fraction %v outside [0,1]", sys.Name, sys.UtilizedFraction)
+		}
+		return nil
+	}
+	if err := check(s.Proposed); err != nil {
+		return err
+	}
+	for _, b := range s.Baselines {
+		if err := check(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s Spec) plane() Plane {
+	if s.Plane == PlaneLatencyPower {
+		return core.LatencyPlane()
+	}
+	return core.DefaultPlane()
+}
+
+func (s Spec) system(ss SpecSystem) System {
+	perfUnit := metric.GigabitPerSecond
+	if s.Plane == PlaneLatencyPower {
+		perfUnit = metric.Microsecond
+	}
+	return System{
+		Name:             ss.Name,
+		Point:            core.Pt(metric.Q(ss.Perf, perfUnit), metric.Q(ss.Cost, metric.Watt)),
+		Scalable:         ss.Scalable,
+		UtilizedFraction: ss.UtilizedFraction,
+	}
+}
+
+// SpecResult is the outcome of evaluating a spec.
+type SpecResult struct {
+	Spec     Spec
+	Verdicts []Verdict
+}
+
+// EvaluateSpec runs the seven-principle evaluation for every baseline.
+func EvaluateSpec(s Spec) (SpecResult, error) {
+	if err := s.Validate(); err != nil {
+		return SpecResult{}, err
+	}
+	var opts []core.Option
+	if s.Tolerance > 0 {
+		opts = append(opts, core.WithTolerance(s.Tolerance))
+	}
+	e, err := core.NewEvaluator(s.plane(), opts...)
+	if err != nil {
+		return SpecResult{}, err
+	}
+	baselines := make([]System, 0, len(s.Baselines))
+	for _, b := range s.Baselines {
+		baselines = append(baselines, s.system(b))
+	}
+	verdicts, err := e.EvaluateAgainstAll(s.system(s.Proposed), baselines)
+	if err != nil {
+		return SpecResult{}, err
+	}
+	return SpecResult{Spec: s, Verdicts: verdicts}, nil
+}
+
+// Report renders the spec evaluation as a table plus per-baseline
+// verdict text.
+func (r SpecResult) Report() string {
+	perfHdr, costHdr := "Perf (Gb/s)", "Cost (W)"
+	if r.Spec.Plane == PlaneLatencyPower {
+		perfHdr = "Latency (µs)"
+	}
+	t := report.NewTable("Comparison: "+r.Spec.Proposed.Name, "Baseline", perfHdr, costHdr, "Regime", "Direct", "Conclusion")
+	for i, v := range r.Verdicts {
+		b := r.Spec.Baselines[i]
+		t.AddRowf("%s|%.4g|%.4g|%s|%s|%s", b.Name, b.Perf, b.Cost, v.Regime, v.Direct, v.Conclusion)
+	}
+	out := t.Text() + "\n"
+	for _, v := range r.Verdicts {
+		out += FormatVerdict(v) + "\n"
+	}
+	return out
+}
+
+// MarshalJSON summarises verdicts for machine consumption (conclusion
+// and claims; the full geometry is recomputable from the spec).
+func (r SpecResult) MarshalJSON() ([]byte, error) {
+	type verdictJSON struct {
+		Baseline   string   `json:"baseline"`
+		Regime     string   `json:"regime"`
+		Direct     string   `json:"direct_relation"`
+		Conclusion string   `json:"conclusion"`
+		Principles []string `json:"principles_applied"`
+		Claims     []string `json:"claims"`
+		Warnings   []string `json:"warnings,omitempty"`
+	}
+	out := struct {
+		Proposed string        `json:"proposed"`
+		Plane    string        `json:"plane"`
+		Verdicts []verdictJSON `json:"verdicts"`
+	}{Proposed: r.Spec.Proposed.Name, Plane: r.Spec.Plane}
+	if out.Plane == "" {
+		out.Plane = PlaneThroughputPower
+	}
+	for _, v := range r.Verdicts {
+		vj := verdictJSON{
+			Baseline:   v.Baseline.Name,
+			Regime:     v.Regime.String(),
+			Direct:     v.Direct.String(),
+			Conclusion: v.Conclusion.String(),
+			Claims:     v.Claims,
+			Warnings:   v.Warnings,
+		}
+		for _, p := range v.Applied {
+			vj.Principles = append(vj.Principles, p.String())
+		}
+		out.Verdicts = append(out.Verdicts, vj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

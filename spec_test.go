@@ -1,0 +1,157 @@
+package fairbench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const paperSpecJSON = `{
+  "plane": "throughput-power",
+  "proposed": {"name": "fw-smartnic", "perf": 20, "cost": 70, "scalable": true},
+  "baselines": [
+    {"name": "fw-1core", "perf": 10, "cost": 50, "scalable": true},
+    {"name": "fw-2core", "perf": 18, "cost": 80, "scalable": true}
+  ]
+}`
+
+func TestParseAndEvaluateSpec(t *testing.T) {
+	spec, err := ParseSpec([]byte(paperSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Verdicts) != 2 {
+		t.Fatalf("verdicts = %d", len(res.Verdicts))
+	}
+	if res.Verdicts[0].Conclusion != ProposedSuperior {
+		t.Errorf("vs 1-core: %v", res.Verdicts[0].Conclusion)
+	}
+	if res.Verdicts[1].Conclusion != ProposedSuperior || res.Verdicts[1].Direct != Dominates {
+		t.Errorf("vs 2-core: %v/%v", res.Verdicts[1].Conclusion, res.Verdicts[1].Direct)
+	}
+}
+
+func TestSpecReport(t *testing.T) {
+	spec, _ := ParseSpec([]byte(paperSpecJSON))
+	res, err := EvaluateSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Report()
+	for _, frag := range []string{"fw-smartnic", "fw-1core", "fw-2core", "proposed-superior", "Principle"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSpecJSONOutput(t *testing.T) {
+	spec, _ := ParseSpec([]byte(paperSpecJSON))
+	res, err := EvaluateSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round struct {
+		Proposed string `json:"proposed"`
+		Verdicts []struct {
+			Baseline   string   `json:"baseline"`
+			Conclusion string   `json:"conclusion"`
+			Principles []string `json:"principles_applied"`
+		} `json:"verdicts"`
+	}
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Proposed != "fw-smartnic" || len(round.Verdicts) != 2 {
+		t.Errorf("round trip = %+v", round)
+	}
+	if round.Verdicts[0].Conclusion != "proposed-superior" {
+		t.Errorf("conclusion = %q", round.Verdicts[0].Conclusion)
+	}
+	if len(round.Verdicts[0].Principles) == 0 {
+		t.Error("principles missing from JSON")
+	}
+}
+
+func TestSpecLatencyPlane(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+	  "plane": "latency-power",
+	  "proposed": {"name": "a", "perf": 5, "cost": 200},
+	  "baselines": [{"name": "b", "perf": 8, "cost": 100}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdicts[0].Conclusion != IncomparableSystems {
+		t.Errorf("latency incomparable pair: %v", res.Verdicts[0].Conclusion)
+	}
+	if !strings.Contains(res.Report(), "Latency (µs)") {
+		t.Error("latency report header missing")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []string{
+		`{"plane": "widgets", "proposed": {"name":"a"}, "baselines":[{"name":"b"}]}`,
+		`{"proposed": {"name":""}, "baselines":[{"name":"b"}]}`,
+		`{"proposed": {"name":"a"}, "baselines":[]}`,
+		`{"proposed": {"name":"a"}, "baselines":[{"name":""}]}`,
+		`{"proposed": {"name":"a","perf":-1}, "baselines":[{"name":"b"}]}`,
+		`{"tolerance": -1, "proposed": {"name":"a"}, "baselines":[{"name":"b"}]}`,
+		`{"proposed": {"name":"a","utilized_fraction":2}, "baselines":[{"name":"b"}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec([]byte(c)); err == nil {
+			t.Errorf("spec should fail validation: %s", c)
+		}
+	}
+}
+
+func TestSpecCustomTolerance(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+	  "tolerance": 0.25,
+	  "proposed": {"name": "a", "perf": 11, "cost": 55, "scalable": true},
+	  "baselines": [{"name": "b", "perf": 10, "cost": 50, "scalable": true}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 25% tolerance these are the same regime on both axes.
+	if res.Verdicts[0].Regime.String() != "same-cost-and-performance" {
+		t.Errorf("regime = %v", res.Verdicts[0].Regime)
+	}
+}
+
+func TestSpecCoveragePitfallSurfaced(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+	  "proposed": {"name": "accel", "perf": 100, "cost": 200, "scalable": true},
+	  "baselines": [{"name": "half-host", "perf": 35, "cost": 100, "scalable": true, "utilized_fraction": 0.5}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Verdicts[0].Warnings) == 0 {
+		t.Error("coverage pitfall warning should surface through the spec API")
+	}
+}

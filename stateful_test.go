@@ -1,0 +1,36 @@
+package fairbench
+
+import (
+	"strings"
+	"testing"
+
+	"fairbench/internal/core"
+)
+
+func TestRunStatefulAblation(t *testing.T) {
+	res, err := RunStatefulAblation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same hardware, same power.
+	if res.Stateless.PowerWatts != res.Stateful.PowerWatts {
+		t.Errorf("powers differ: %v vs %v", res.Stateless.PowerWatts, res.Stateful.PowerWatts)
+	}
+	// Connection tracking must clearly win under long-flow traffic.
+	if res.Speedup < 1.15 {
+		t.Errorf("stateful speedup = %.2fx, want > 1.15x", res.Speedup)
+	}
+	// Principle 4 applies: same-cost regime, unidimensional claim.
+	if res.Verdict.Regime != core.SameCost {
+		t.Errorf("regime = %v", res.Verdict.Regime)
+	}
+	if res.Verdict.Conclusion != ProposedSuperior {
+		t.Errorf("conclusion = %v", res.Verdict.Conclusion)
+	}
+	rep := StatefulAblationReport(res)
+	for _, frag := range []string{"speedup", "identical cost", "Principle 4"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep)
+		}
+	}
+}
