@@ -10,11 +10,19 @@
 //	        [-seconds S] [-attack FRAC] [-poisson] [-seed N] [-search]
 //	        [-impair-drop P] [-impair-corrupt P] [-impair-dup P]
 //	        [-record FILE -count N] [-replay FILE -stretch X]
+//	        [-trace FILE [-sample-every DT] [-metrics FILE]]
 //
 // With -search, an RFC 2544 binary search for the zero-loss throughput
 // replaces the single fixed-rate run. The -impair-* flags inject
 // ingress faults; -record captures a trace and -replay runs one through
 // the deployment at its recorded (optionally stretched) timestamps.
+//
+// With -trace, the run writes a deterministic JSONL observability trace
+// (per-packet lifecycle spans with per-stage latency attribution,
+// kernel progress, and — with -sample-every — periodic per-device
+// utilization/queue/power samples) and prints the per-stage latency
+// breakdown. -metrics additionally exports the metrics registry
+// snapshot (CSV, or JSONL when the file name ends in .jsonl).
 package main
 
 import (
@@ -22,8 +30,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"fairbench/internal/hw"
+	"fairbench/internal/obs"
 	"fairbench/internal/report"
 	"fairbench/internal/rfc2544"
 	"fairbench/internal/testbed"
@@ -55,9 +65,35 @@ func run(args []string, stdout io.Writer) error {
 	count := fs.Int("count", 10000, "packets to record with -record")
 	replay := fs.String("replay", "", "replay a recorded trace through the deployment instead of generating traffic")
 	stretch := fs.Float64("stretch", 1, "timestamp scale for -replay (0.5 = twice as fast)")
+	trace := fs.String("trace", "", "write a JSONL observability trace of the run to this file")
+	sampleEvery := fs.Float64("sample-every", 0, "periodic device sampling interval in simulated seconds (requires -trace)")
+	metrics := fs.String("metrics", "", "export the metrics snapshot to this file (requires -trace; .jsonl for JSONL, CSV otherwise)")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Reject contradictory mode combinations up front: each of -record,
+	// -replay and -search selects a different run mode.
+	switch {
+	case *record != "" && *replay != "":
+		return fmt.Errorf("-record and -replay are mutually exclusive (record writes a trace, replay consumes one)")
+	case *search && *replay != "":
+		return fmt.Errorf("-search and -replay are mutually exclusive (the throughput search generates its own load)")
+	case *search && *record != "":
+		return fmt.Errorf("-search and -record are mutually exclusive")
+	}
+	if *trace != "" && (*search || *record != "") {
+		return fmt.Errorf("-trace applies to a single measured run; it cannot be combined with -search or -record")
+	}
+	if *trace == "" && *sampleEvery != 0 {
+		return fmt.Errorf("-sample-every requires -trace")
+	}
+	if *trace == "" && *metrics != "" {
+		return fmt.Errorf("-metrics requires -trace")
+	}
+	if *sampleEvery < 0 {
+		return fmt.Errorf("-sample-every must be positive, got %v", *sampleEvery)
 	}
 
 	mkDeployment := func() (*testbed.Deployment, error) {
@@ -103,6 +139,39 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	// attachTrace wires the observability tracer to d when -trace is
+	// set; the returned finish writes the breakdown and metrics after a
+	// successful run.
+	attachTrace := func(d *testbed.Deployment) (finish func() error, err error) {
+		if *trace == "" {
+			return func() error { return nil }, nil
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			return nil, err
+		}
+		tr := obs.New(f)
+		d.Observe(tr, *sampleEvery)
+		return func() error {
+			if err := tr.Err(); err != nil {
+				f.Close()
+				return fmt.Errorf("trace: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "\ntrace: %d events to %s\n", tr.Events(), *trace)
+			printBreakdown(stdout, tr.Breakdown())
+			if *metrics != "" {
+				if err := exportMetrics(*metrics, tr.Registry()); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "metrics snapshot to %s\n", *metrics)
+			}
+			return nil
+		}, nil
+	}
+
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -118,13 +187,17 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		finish, err := attachTrace(d)
+		if err != nil {
+			return err
+		}
 		res, err := d.RunTrace(tr, *stretch)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "replayed %d packets (stretch %.2f)\n", tr.Count(), *stretch)
 		printResult(stdout, res)
-		return nil
+		return finish()
 	}
 
 	if *search {
@@ -146,6 +219,10 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	finish, err := attachTrace(d)
+	if err != nil {
+		return err
+	}
 	var arrival workload.Arrival = workload.CBR{}
 	if *poisson {
 		arrival = workload.Poisson{}
@@ -160,7 +237,42 @@ func run(args []string, stdout io.Writer) error {
 			stats.Dropped, stats.Corrupted, stats.Duplicated)
 	}
 	printResult(stdout, res)
-	return nil
+	return finish()
+}
+
+// printBreakdown renders the per-stage latency attribution of a traced
+// run.
+func printBreakdown(w io.Writer, bd *obs.Breakdown) {
+	stages := bd.Stages()
+	if len(stages) == 0 {
+		return
+	}
+	t := report.NewTable(fmt.Sprintf("Per-stage latency breakdown (%d spans)", bd.Spans()),
+		"Stage", "Count", "Mean (µs)", "Total (ms)", "Share")
+	total := bd.TotalSeconds()
+	for _, st := range stages {
+		share := 0.0
+		if total > 0 {
+			share = st.TotalSeconds / total
+		}
+		t.AddRowf("%s|%d|%.3f|%.3f|%.1f%%",
+			st.Name, st.Count, st.MeanSeconds()*1e6, st.TotalSeconds*1e3, share*100)
+	}
+	fmt.Fprint(w, t.Text())
+}
+
+// exportMetrics writes the registry snapshot: JSONL when the path ends
+// in .jsonl, CSV otherwise.
+func exportMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return reg.ExportJSONL(f)
+	}
+	return reg.ExportCSV(f)
 }
 
 func printResult(w io.Writer, res testbed.Result) {

@@ -2,9 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fairbench/internal/obs"
 )
 
 func TestRunHost(t *testing.T) {
@@ -124,5 +129,131 @@ func TestRunRejectsBadImpairment(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-impair-drop", "2"}, &out); err == nil {
 		t.Error("probability > 1 should fail")
+	}
+}
+
+func TestConflictingFlagCombos(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"record+replay", []string{"-record", "a", "-replay", "b"}, "mutually exclusive"},
+		{"search+replay", []string{"-search", "-replay", "b"}, "mutually exclusive"},
+		{"search+record", []string{"-search", "-record", "a"}, "mutually exclusive"},
+		{"trace+search", []string{"-trace", "t.jsonl", "-search"}, "-trace"},
+		{"trace+record", []string{"-trace", "t.jsonl", "-record", "a"}, "-trace"},
+		{"sample-every alone", []string{"-sample-every", "0.001"}, "requires -trace"},
+		{"metrics alone", []string{"-metrics", "m.csv"}, "requires -trace"},
+		{"negative sample period", []string{"-trace", "t.jsonl", "-sample-every", "-1"}, "positive"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		err := run(c.args, &out)
+		if err == nil {
+			t.Errorf("%s: expected an error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.csv")
+	var out bytes.Buffer
+	err := run([]string{"-system", "smartnic", "-pps", "2e6", "-seconds", "0.005",
+		"-trace", tracePath, "-sample-every", "0.001", "-metrics", metricsPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"trace:", "Per-stage latency breakdown", "queue", "service", "io", "metrics snapshot"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+
+	// The trace file is JSONL whose span events' stages sum to their
+	// end-to-end latency (the headline acceptance criterion).
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans, samples int
+	for i, ln := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		switch e.Kind {
+		case "span":
+			spans++
+			var sum float64
+			for _, st := range e.Stages {
+				sum += st.Dur
+			}
+			if math.Abs(sum-e.Dur) > 1e-12 {
+				t.Fatalf("span %d stages sum %v != dur %v", e.ID, sum, e.Dur)
+			}
+		case "sample":
+			samples++
+		}
+	}
+	if spans == 0 || samples == 0 {
+		t.Errorf("trace has %d spans, %d samples; want both > 0", spans, samples)
+	}
+
+	m, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(m), "name,labels,kind,value,count\n") {
+		t.Errorf("metrics CSV malformed:\n%s", m)
+	}
+}
+
+func TestReplayWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	rec := filepath.Join(dir, "flow.fbtrace")
+	tracePath := filepath.Join(dir, "replay.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-record", rec, "-count", "2000", "-pps", "1e6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-replay", rec, "-trace", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Per-stage latency breakdown") {
+		t.Errorf("replay trace output:\n%s", out.String())
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Errorf("trace file missing: %v", err)
+	}
+}
+
+func TestMetricsJSONLExport(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-system", "host", "-pps", "1e6", "-seconds", "0.003",
+		"-trace", tracePath, "-metrics", metricsPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ln := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var p obs.Point
+		if err := json.Unmarshal([]byte(ln), &p); err != nil {
+			t.Fatalf("metrics line %d does not parse: %v", i, err)
+		}
 	}
 }

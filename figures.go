@@ -67,6 +67,14 @@ func RenderAll(o ExpOptions) ([]Artifact, error) {
 	}
 	add("example-smartnic.txt", SmartNICReport(e6))
 
+	// Observability — §4.2 example with per-stage latency attribution.
+	eo, err := RunSmartNICBreakdown(o)
+	if err != nil {
+		return nil, fmt.Errorf("smartnic breakdown: %w", err)
+	}
+	add("example-smartnic-breakdown.md", BreakdownReport(eo).Markdown())
+	add("example-smartnic-timeline.svg", BreakdownTimeline(eo).SVG())
+
 	// E8 — latency example.
 	e8, err := RunLatency(o)
 	if err != nil {

@@ -184,8 +184,8 @@ func (f *FPGA) Config() FPGAConfig { return f.cfg }
 
 // Submit offers a packet to the pipeline. It returns false (drop) when
 // the pipeline has more than a small ingress buffer of backlog,
-// otherwise schedules done with the pipeline latency.
-func (f *FPGA) Submit(done func(latencySeconds float64)) bool {
+// otherwise schedules done with the pipeline sojourn breakdown.
+func (f *FPGA) Submit(done func(Sojourn)) bool {
 	now := f.s.Now()
 	service := 1 / f.cfg.CapacityPps
 	start := f.nextFree
@@ -200,15 +200,33 @@ func (f *FPGA) Submit(done func(latencySeconds float64)) bool {
 	f.nextFree = finish
 	f.busy += service
 	f.Served++
-	latency := float64(finish-now) + f.cfg.PipelineLatencySeconds
+	sojourn := Sojourn{
+		WaitSeconds:    float64(start - now),
+		ServiceSeconds: service,
+		FixedSeconds:   f.cfg.PipelineLatencySeconds,
+	}
 	if err := f.s.At(finish, func() {
 		if done != nil {
-			done(latency)
+			done(sojourn)
 		}
 	}); err != nil {
 		panic(err)
 	}
 	return true
+}
+
+// BusySeconds returns the pipeline's cumulative busy time (sampler
+// utilization probe).
+func (f *FPGA) BusySeconds() float64 { return f.busy }
+
+// BacklogPackets estimates the ingress backlog in packets at the
+// current simulated time (sampler queue-depth probe).
+func (f *FPGA) BacklogPackets() int {
+	now := f.s.Now()
+	if f.nextFree <= now {
+		return 0
+	}
+	return int(float64(f.nextFree-now)*f.cfg.CapacityPps + 0.5)
 }
 
 // EnergyJoules implements Device.

@@ -100,8 +100,8 @@ func (c *Core) CapacityPps(cycles uint64) float64 {
 // Submit offers a packet costing cycles to the core at the current
 // simulated time. If the queue is full the packet is dropped and false
 // is returned. Otherwise done (which may be nil) is invoked when
-// processing completes, with the packet's total sojourn time.
-func (c *Core) Submit(cycles uint64, done func(latencySeconds float64)) bool {
+// processing completes, with the packet's sojourn-time breakdown.
+func (c *Core) Submit(cycles uint64, done func(Sojourn)) bool {
 	now := c.s.Now()
 	if c.queued >= c.cfg.QueueDepth {
 		c.Dropped++
@@ -116,12 +116,16 @@ func (c *Core) Submit(cycles uint64, done func(latencySeconds float64)) bool {
 	c.nextFree = finish
 	c.queued++
 	c.busy += service
-	latency := float64(finish-now) + c.cfg.FixedLatencySeconds
+	sojourn := Sojourn{
+		WaitSeconds:    float64(start - now),
+		ServiceSeconds: service,
+		FixedSeconds:   c.cfg.FixedLatencySeconds,
+	}
 	if err := c.s.At(finish, func() {
 		c.queued--
 		c.Served++
 		if done != nil {
-			done(latency)
+			done(sojourn)
 		}
 	}); err != nil {
 		// Scheduling can only fail for a past/invalid time, which the
@@ -130,6 +134,14 @@ func (c *Core) Submit(cycles uint64, done func(latencySeconds float64)) bool {
 	}
 	return true
 }
+
+// QueueLen returns the number of packets queued or in service — the
+// instantaneous queue-depth probe the observability sampler reads.
+func (c *Core) QueueLen() int { return c.queued }
+
+// BusySeconds returns cumulative busy time, from which the sampler
+// derives windowed utilization and instantaneous power.
+func (c *Core) BusySeconds() float64 { return c.busy }
 
 // Utilization returns busy-time fraction over [0, end).
 func (c *Core) Utilization(end sim.Time) float64 {

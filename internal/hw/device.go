@@ -41,6 +41,26 @@ type Device interface {
 	CostVector() cost.Vector
 }
 
+// Sojourn attributes a packet's in-device latency to stages: time
+// spent queued behind earlier packets, the device's own service time,
+// and the fixed I/O latency of reaching the device (PCIe transfer,
+// offload path, pipeline fill). Completion callbacks receive the full
+// breakdown so the observability layer can attribute latency per stage
+// instead of a single opaque number.
+type Sojourn struct {
+	// WaitSeconds is the time queued before service began.
+	WaitSeconds float64
+	// ServiceSeconds is the device's busy time on this packet.
+	ServiceSeconds float64
+	// FixedSeconds is the path's fixed I/O latency.
+	FixedSeconds float64
+}
+
+// Total returns the packet's end-to-end in-device latency.
+func (s Sojourn) Total() float64 {
+	return s.WaitSeconds + s.ServiceSeconds + s.FixedSeconds
+}
+
 // AveragePowerWatts computes mean power of a device over [0, end).
 func AveragePowerWatts(d Device, end sim.Time) float64 {
 	if end <= 0 {

@@ -33,12 +33,12 @@ func TestCoreServiceAndCapacity(t *testing.T) {
 func TestCoreFIFOQueueing(t *testing.T) {
 	s := sim.New()
 	c := NewCore("core0", s, CPUConfig{FreqHz: 1e9, OverheadCycles: 600, QueueDepth: 16, FixedLatencySeconds: -1})
-	var latencies []float64
+	var sojourns []Sojourn
 	// Two back-to-back packets of 400+600 cycles (1 µs) at t=0: the
 	// second waits for the first.
 	submit := func() {
 		for i := 0; i < 2; i++ {
-			if !c.Submit(400, func(l float64) { latencies = append(latencies, l) }) {
+			if !c.Submit(400, func(so Sojourn) { sojourns = append(sojourns, so) }) {
 				t.Error("submit rejected")
 			}
 		}
@@ -47,11 +47,18 @@ func TestCoreFIFOQueueing(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.RunAll()
-	if len(latencies) != 2 {
-		t.Fatalf("latencies = %v", latencies)
+	if len(sojourns) != 2 {
+		t.Fatalf("sojourns = %v", sojourns)
 	}
-	if math.Abs(latencies[0]-1e-6) > 1e-12 || math.Abs(latencies[1]-2e-6) > 1e-12 {
-		t.Errorf("latencies = %v, want [1µs 2µs]", latencies)
+	if math.Abs(sojourns[0].Total()-1e-6) > 1e-12 || math.Abs(sojourns[1].Total()-2e-6) > 1e-12 {
+		t.Errorf("latencies = %v, want [1µs 2µs]", sojourns)
+	}
+	// The second packet's extra microsecond is queueing, not service.
+	if math.Abs(sojourns[1].WaitSeconds-1e-6) > 1e-12 || math.Abs(sojourns[1].ServiceSeconds-1e-6) > 1e-12 {
+		t.Errorf("second sojourn = %+v, want 1µs wait + 1µs service", sojourns[1])
+	}
+	if sojourns[0].WaitSeconds != 0 {
+		t.Errorf("first packet should not wait: %+v", sojourns[0])
 	}
 	if c.Served != 2 {
 		t.Errorf("Served = %d", c.Served)
@@ -175,10 +182,10 @@ func TestSmartNICOffloadPath(t *testing.T) {
 	}
 	done := false
 	_ = s.At(0, func() {
-		if !sn.Offload(ft, func(l float64) {
+		if !sn.Offload(ft, func(so Sojourn) {
 			done = true
-			if l < 1e-6 {
-				t.Errorf("fast-path latency = %v, want >= service+fixed", l)
+			if so.Total() < 1e-6 {
+				t.Errorf("fast-path latency = %v, want >= service+fixed", so.Total())
 			}
 		}) {
 			t.Error("installed flow should offload")
@@ -276,7 +283,7 @@ func TestFPGASubmitAndOverflow(t *testing.T) {
 	overflow := 0
 	_ = s.At(0, func() {
 		for i := 0; i < 300; i++ {
-			if f.Submit(func(float64) { served++ }) {
+			if f.Submit(func(Sojourn) { served++ }) {
 				continue
 			}
 			overflow++
@@ -320,6 +327,63 @@ func TestDeviceDefaults(t *testing.T) {
 	fp := NewFPGA("f", s, FPGAConfig{})
 	if fp.Config().LUTsTotal != 1.2e6 {
 		t.Errorf("fpga defaults = %+v", fp.Config())
+	}
+}
+
+func TestProbes(t *testing.T) {
+	s := sim.New()
+	c := NewCore("c", s, CPUConfig{FreqHz: 1e9, OverheadCycles: 0, QueueDepth: 16})
+	_ = s.At(0, func() {
+		for i := 0; i < 3; i++ {
+			c.Submit(1_000_000, nil) // 1 ms each
+		}
+		if c.QueueLen() != 3 {
+			t.Errorf("QueueLen = %d, want 3", c.QueueLen())
+		}
+	})
+	s.Run(10)
+	if c.QueueLen() != 0 {
+		t.Errorf("QueueLen after drain = %d", c.QueueLen())
+	}
+	want := 3 * c.ServiceSeconds(1_000_000)
+	if got := c.BusySeconds(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BusySeconds = %v, want %v", got, want)
+	}
+
+	sn := NewSmartNIC("sn", s, SmartNICConfig{CapacityPps: 1000})
+	sn.Install(flow(1))
+	if sn.BacklogPackets() != 0 {
+		t.Errorf("idle backlog = %d", sn.BacklogPackets())
+	}
+	_ = s.At(s.Now(), func() {
+		sn.Offload(flow(1), nil)
+		sn.Offload(flow(1), nil)
+		if got := sn.BacklogPackets(); got != 2 {
+			t.Errorf("smartnic backlog = %d, want 2", got)
+		}
+	})
+	s.RunAll()
+	if sn.BusySeconds() <= 0 {
+		t.Error("smartnic busy seconds should accumulate")
+	}
+
+	f := NewFPGA("f", s, FPGAConfig{CapacityPps: 1000})
+	_ = s.At(s.Now(), func() {
+		f.Submit(nil)
+		if got := f.BacklogPackets(); got != 1 {
+			t.Errorf("fpga backlog = %d, want 1", got)
+		}
+	})
+	s.RunAll()
+	if f.BusySeconds() <= 0 {
+		t.Error("fpga busy seconds should accumulate")
+	}
+}
+
+func TestSojournTotal(t *testing.T) {
+	so := Sojourn{WaitSeconds: 1, ServiceSeconds: 2, FixedSeconds: 3}
+	if so.Total() != 6 {
+		t.Errorf("Total = %v", so.Total())
 	}
 }
 

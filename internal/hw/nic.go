@@ -132,10 +132,10 @@ func (sn *SmartNIC) Install(ft packet.FiveTuple) bool {
 }
 
 // Offload attempts to handle a packet on the NIC fast path. It returns
-// true (and invokes done with the fast-path latency) when the flow is
-// in the table and the dataplane has headroom; false punts the packet
-// to the host.
-func (sn *SmartNIC) Offload(ft packet.FiveTuple, done func(latencySeconds float64)) bool {
+// true (and invokes done with the fast-path sojourn breakdown) when the
+// flow is in the table and the dataplane has headroom; false punts the
+// packet to the host.
+func (sn *SmartNIC) Offload(ft packet.FiveTuple, done func(Sojourn)) bool {
 	if !sn.table[ft] {
 		sn.ToHost++
 		return false
@@ -156,15 +156,33 @@ func (sn *SmartNIC) Offload(ft packet.FiveTuple, done func(latencySeconds float6
 	sn.nextFree = finish
 	sn.busy += service
 	sn.Offloaded++
-	latency := float64(finish-now) + sn.cfg.OffloadLatencySeconds
+	sojourn := Sojourn{
+		WaitSeconds:    float64(start - now),
+		ServiceSeconds: service,
+		FixedSeconds:   sn.cfg.OffloadLatencySeconds,
+	}
 	if err := sn.s.At(finish, func() {
 		if done != nil {
-			done(latency)
+			done(sojourn)
 		}
 	}); err != nil {
 		panic(err)
 	}
 	return true
+}
+
+// BusySeconds returns the dataplane's cumulative busy time (sampler
+// utilization probe).
+func (sn *SmartNIC) BusySeconds() float64 { return sn.busy }
+
+// BacklogPackets estimates the fast-path backlog in packets at the
+// current simulated time (sampler queue-depth probe).
+func (sn *SmartNIC) BacklogPackets() int {
+	now := sn.s.Now()
+	if sn.nextFree <= now {
+		return 0
+	}
+	return int(float64(sn.nextFree-now)*sn.cfg.CapacityPps + 0.5)
 }
 
 // EnergyJoules implements Device.

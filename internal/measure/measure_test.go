@@ -99,3 +99,77 @@ func TestFairnessMeter(t *testing.T) {
 		t.Errorf("skewed JFI = %v, want < 0.7", j)
 	}
 }
+
+func TestThroughputMeterZeroLengthWindow(t *testing.T) {
+	// A Stop at (or before) Start is a zero-length window: rates must
+	// collapse to 0, never Inf or NaN.
+	var m ThroughputMeter
+	m.Start(5)
+	m.Stop(5)
+	m.Offer(100)
+	m.Process(100, true)
+	m.Lose()
+	if m.Window() != 0 {
+		t.Errorf("Window = %v, want 0", m.Window())
+	}
+	for name, tp := range map[string]func() float64{
+		"offered bps":   m.Offered().BitsPerSecond,
+		"processed bps": m.Processed().BitsPerSecond,
+		"forwarded pps": m.Forwarded().PacketsPerSecond,
+	} {
+		if got := tp(); got != 0 {
+			t.Errorf("%s = %v over an empty window, want 0", name, got)
+		}
+	}
+	m.Stop(4) // end before start
+	if m.Window() != 0 {
+		t.Errorf("inverted window = %v, want 0", m.Window())
+	}
+	s := m.String()
+	if strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
+		t.Errorf("String leaked a non-finite rate: %q", s)
+	}
+}
+
+func TestLossFractionZeroOffered(t *testing.T) {
+	var m ThroughputMeter
+	m.Lose() // loss recorded with no offered packets
+	if got := m.LossFraction(); got != 0 {
+		t.Errorf("LossFraction with zero offered = %v, want 0 (not NaN)", got)
+	}
+	if math.IsNaN(m.LossFraction()) || math.IsInf(m.LossFraction(), 0) {
+		t.Error("LossFraction must stay finite")
+	}
+}
+
+func TestFairnessMeterZeroFlows(t *testing.T) {
+	f := NewFairnessMeter()
+	if f.Flows() != 0 {
+		t.Errorf("Flows = %d, want 0", f.Flows())
+	}
+	if got := f.JFI(); got != 0 {
+		t.Errorf("JFI over zero flows = %v, want 0 (not NaN)", got)
+	}
+}
+
+func TestFairnessMeterSingleFlow(t *testing.T) {
+	f := NewFairnessMeter()
+	ft := packet.FiveTuple{SrcPort: 1, DstPort: 2}
+	f.Record(ft, 1000)
+	f.Record(ft, 500)
+	if f.Flows() != 1 {
+		t.Errorf("Flows = %d, want 1", f.Flows())
+	}
+	// JFI is exactly 1 for a single flow: sum² / (1·sumSq) = 1.
+	if got := f.JFI(); math.Abs(got-1) > 1e-15 {
+		t.Errorf("JFI for a single flow = %v, want 1", got)
+	}
+}
+
+func TestFairnessMeterZeroByteFlow(t *testing.T) {
+	f := NewFairnessMeter()
+	f.Record(packet.FiveTuple{SrcPort: 3}, 0)
+	if got := f.JFI(); got != 0 {
+		t.Errorf("JFI over an all-zero allocation = %v, want 0 (not NaN)", got)
+	}
+}

@@ -1,0 +1,149 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders trace spans as a Gantt-style SVG: one horizontal
+// lane per device, one colored segment per attributed stage. It is the
+// visual companion of the per-stage latency breakdown — where the table
+// says "the host adds 4 µs of I/O latency", the timeline shows the µs
+// laid end to end on the device that spent them.
+
+// TimelineSpan is one colored segment on a lane.
+type TimelineSpan struct {
+	// Start and End position the segment on the x axis (same unit as
+	// the plot's XLabel, typically µs of virtual time).
+	Start, End float64
+	// Class groups segments for coloring and the legend (stage name:
+	// "switch", "queue", "service", "io").
+	Class string
+	// Label, when non-empty, is drawn inside/above the segment.
+	Label string
+}
+
+// TimelineLane is one horizontal band (typically one device).
+type TimelineLane struct {
+	Name  string
+	Spans []TimelineSpan
+}
+
+// Timeline is a lane plot over (virtual) time.
+type Timeline struct {
+	Title  string
+	XLabel string
+	Lanes  []TimelineLane
+}
+
+// timelinePalette maps classes to fills deterministically: classes are
+// sorted and assigned in order, so the same input yields the same SVG.
+var timelinePalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+	"#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+}
+
+// classColors assigns a fill per class name, sorted for determinism.
+func (tl *Timeline) classColors() map[string]string {
+	set := map[string]bool{}
+	for _, ln := range tl.Lanes {
+		for _, sp := range ln.Spans {
+			set[sp.Class] = true
+		}
+	}
+	classes := make([]string, 0, len(set))
+	for c := range set {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	out := make(map[string]string, len(classes))
+	for i, c := range classes {
+		out[c] = timelinePalette[i%len(timelinePalette)]
+	}
+	return out
+}
+
+// SVG renders the timeline.
+func (tl *Timeline) SVG() string {
+	const (
+		laneH   = 34
+		laneGap = 10
+		nameW   = 110
+		width   = 720
+		legendH = 26
+		topPad  = 34
+	)
+	colors := tl.classColors()
+	classes := make([]string, 0, len(colors))
+	for c := range colors {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	maxX := 0.0
+	for _, ln := range tl.Lanes {
+		for _, sp := range ln.Spans {
+			if sp.End > maxX {
+				maxX = sp.End
+			}
+		}
+	}
+	if maxX <= 0 {
+		maxX = 1
+	}
+	plotW := float64(width - nameW - 20)
+	x := func(v float64) float64 { return float64(nameW) + v/maxX*plotW }
+
+	height := topPad + len(tl.Lanes)*(laneH+laneGap) + legendH + 30
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="10" y="20" font-size="14" font-family="sans-serif" font-weight="bold">%s</text>`+"\n", esc(tl.Title))
+
+	for i, ln := range tl.Lanes {
+		top := topPad + i*(laneH+laneGap)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			10, top+laneH/2+4, esc(ln.Name))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			nameW, top+laneH, width-20, top+laneH)
+		for _, sp := range ln.Spans {
+			x0, x1 := x(sp.Start), x(sp.End)
+			w := x1 - x0
+			if w < 0.5 {
+				w = 0.5 // keep sub-pixel stages visible
+			}
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" stroke="white" stroke-width="0.5"><title>%s</title></rect>`+"\n",
+				x0, top+4, w, laneH-8, colors[sp.Class], esc(sp.Class))
+			if sp.Label != "" && w > 30 {
+				fmt.Fprintf(&b, `<text x="%.2f" y="%d" font-size="9" font-family="sans-serif" fill="white">%s</text>`+"\n",
+					x0+3, top+laneH/2+3, esc(sp.Label))
+			}
+		}
+	}
+
+	// X axis with ticks at 0, ¼, ½, ¾, max.
+	axisY := topPad + len(tl.Lanes)*(laneH+laneGap)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", nameW, axisY, width-20, axisY)
+	for i := 0; i <= 4; i++ {
+		v := maxX * float64(i) / 4
+		fmt.Fprintf(&b, `<line x1="%.2f" y1="%d" x2="%.2f" y2="%d" stroke="black"/>`+"\n", x(v), axisY, x(v), axisY+4)
+		fmt.Fprintf(&b, `<text x="%.2f" y="%d" font-size="10" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			x(v), axisY+16, tick(v))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		nameW+int(plotW)/2, axisY+30, esc(tl.XLabel))
+
+	// Legend.
+	lx := nameW
+	ly := axisY + legendH + 14
+	for _, c := range classes {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, colors[c])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif">%s</text>`+"\n", lx+14, ly, esc(c))
+		lx += 14 + 7*len(c) + 24
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}

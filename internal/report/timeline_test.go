@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func testTimeline() *Timeline {
+	return &Timeline{
+		Title:  "Packet lifecycle",
+		XLabel: "virtual time (µs)",
+		Lanes: []TimelineLane{
+			{Name: "switch", Spans: []TimelineSpan{{Start: 0, End: 0.4, Class: "switch"}}},
+			{Name: "core0", Spans: []TimelineSpan{
+				{Start: 0.4, End: 1.4, Class: "queue"},
+				{Start: 1.4, End: 3.4, Class: "service", Label: "fw"},
+				{Start: 3.4, End: 7.4, Class: "io"},
+			}},
+		},
+	}
+}
+
+func TestTimelineSVG(t *testing.T) {
+	svg := testTimeline().SVG()
+	if !strings.HasPrefix(svg, "<svg ") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, want := range []string{"Packet lifecycle", "core0", "switch", "virtual time (µs)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One rect per span plus background and legend swatches.
+	if n := strings.Count(svg, "<rect "); n < 4 {
+		t.Errorf("SVG has %d rects, want at least 4 spans' worth", n)
+	}
+}
+
+func TestTimelineSVGDeterministic(t *testing.T) {
+	a := testTimeline().SVG()
+	b := testTimeline().SVG()
+	if a != b {
+		t.Error("same timeline should render identical SVG")
+	}
+}
+
+func TestTimelineColorsStable(t *testing.T) {
+	// Color assignment must not depend on span encounter order.
+	tl1 := &Timeline{Lanes: []TimelineLane{{Name: "a", Spans: []TimelineSpan{
+		{Start: 0, End: 1, Class: "queue"}, {Start: 1, End: 2, Class: "service"},
+	}}}}
+	tl2 := &Timeline{Lanes: []TimelineLane{{Name: "a", Spans: []TimelineSpan{
+		{Start: 0, End: 1, Class: "service"}, {Start: 1, End: 2, Class: "queue"},
+	}}}}
+	c1 := tl1.classColors()
+	c2 := tl2.classColors()
+	if c1["queue"] != c2["queue"] || c1["service"] != c2["service"] {
+		t.Errorf("class colors depend on encounter order: %v vs %v", c1, c2)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := &Timeline{Title: "empty"}
+	svg := tl.SVG() // must not divide by zero or panic
+	if !strings.Contains(svg, "empty") {
+		t.Error("empty timeline should still render its title")
+	}
+}

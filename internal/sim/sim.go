@@ -60,14 +60,22 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// TraceFunc observes kernel progress: it receives the virtual clock,
+// the number of events processed so far, and the pending queue depth.
+// Hooks fire after an event's callback has run, so the reported state
+// includes anything the event scheduled.
+type TraceFunc func(now Time, processed uint64, pending int)
+
 // Sim is a discrete-event simulator. Not safe for concurrent use: a
 // simulation is a single logical timeline.
 type Sim struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	events uint64
-	halted bool
+	now        Time
+	queue      eventQueue
+	seq        uint64
+	events     uint64
+	halted     bool
+	trace      TraceFunc
+	traceEvery uint64
 }
 
 // New returns a simulator at time zero.
@@ -108,6 +116,22 @@ func (s *Sim) After(delta float64, fn func()) error {
 	return s.At(s.now+Time(delta), fn)
 }
 
+// SetTrace installs a kernel progress hook, invoked after every
+// `every`-th executed event (every <= 1 fires on all events). A nil fn
+// disables tracing. The hook adds one branch per event when installed
+// and nothing when not, so untraced runs are unaffected.
+func (s *Sim) SetTrace(fn TraceFunc, every uint64) {
+	s.trace = fn
+	s.traceEvery = every
+}
+
+// traceTick fires the kernel hook when due.
+func (s *Sim) traceTick() {
+	if s.trace != nil && (s.traceEvery <= 1 || s.events%s.traceEvery == 0) {
+		s.trace(s.now, s.events, len(s.queue))
+	}
+}
+
 // Halt stops the run loop after the current event completes. Pending
 // events remain queued; a subsequent Run resumes.
 func (s *Sim) Halt() { s.halted = true }
@@ -127,6 +151,7 @@ func (s *Sim) Run(horizon Time) {
 		s.now = next.at
 		s.events++
 		next.fn()
+		s.traceTick()
 	}
 	if s.now < horizon && !s.halted {
 		s.now = horizon
@@ -143,5 +168,6 @@ func (s *Sim) RunAll() {
 		s.now = next.at
 		s.events++
 		next.fn()
+		s.traceTick()
 	}
 }

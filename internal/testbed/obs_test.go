@@ -1,0 +1,177 @@
+package testbed
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"fairbench/internal/obs"
+	"fairbench/internal/workload"
+)
+
+// tracedRun executes one SmartNIC firewall run with tracing into buf.
+func tracedRun(t testing.TB, seed uint64, buf *bytes.Buffer, sink func(obs.Event)) Result {
+	t.Helper()
+	d, err := SmartNICFirewall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := E6Workload(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New(buf)
+	tr.SetSink(sink)
+	d.Observe(tr, 0.002)
+	res, err := d.Run(g, workload.Poisson{}, 4e6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Err() != nil {
+		t.Fatalf("trace error: %v", tr.Err())
+	}
+	return res
+}
+
+func TestTraceDeterministicBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	tracedRun(t, 42, &a, nil)
+	tracedRun(t, 42, &b, nil)
+	if a.Len() == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed should yield a byte-identical JSONL trace")
+	}
+
+	var c bytes.Buffer
+	tracedRun(t, 43, &c, nil)
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different seeds should yield different traces")
+	}
+}
+
+func TestSpanStagesSumToLatency(t *testing.T) {
+	var spans []obs.Event
+	var samples, kernels int
+	var buf bytes.Buffer
+	res := tracedRun(t, 7, &buf, func(e obs.Event) {
+		switch e.Kind {
+		case "span":
+			spans = append(spans, e)
+		case "sample":
+			samples++
+		case "kernel":
+			kernels++
+		}
+	})
+
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	// Spans cover every offered packet: one per dispatch.
+	if uint64(len(spans)) != res.Offered.Packets {
+		t.Errorf("spans = %d, offered packets = %d", len(spans), res.Offered.Packets)
+	}
+	for _, e := range spans {
+		var sum float64
+		for _, st := range e.Stages {
+			sum += st.Dur
+		}
+		if math.Abs(sum-e.Dur) > 1e-12 {
+			t.Fatalf("span %d: stage sum %v != end-to-end %v", e.ID, sum, e.Dur)
+		}
+		switch e.Verdict {
+		case "forward", "drop", "loss":
+		default:
+			t.Fatalf("span %d: unknown verdict %q", e.ID, e.Verdict)
+		}
+	}
+	if samples == 0 {
+		t.Error("sampler emitted no samples")
+	}
+	if kernels == 0 {
+		t.Error("kernel hook emitted no events")
+	}
+
+	// Mean end-to-end latency from the breakdown matches the meter.
+	var total float64
+	var forwarded int
+	for _, e := range spans {
+		if e.Verdict == "forward" {
+			total += e.Dur
+			forwarded++
+		}
+	}
+	if forwarded > 0 && res.LatencyMeanUs > 0 {
+		// The latency meter sees forwards and policy drops; compare
+		// only loosely (same order of magnitude) as a sanity check.
+		meanSpanUs := total / float64(forwarded) * 1e6
+		if meanSpanUs <= 0 || meanSpanUs > 100*res.LatencyMeanUs {
+			t.Errorf("span mean %vµs wildly off meter mean %vµs", meanSpanUs, res.LatencyMeanUs)
+		}
+	}
+
+	// Every line of the file parses as an Event.
+	for i, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("trace line %d does not parse: %v", i, err)
+		}
+	}
+}
+
+func TestUntracedRunUnchanged(t *testing.T) {
+	run := func(observe bool) Result {
+		d, err := SmartNICFirewall()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := E6Workload(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observe {
+			d.Observe(obs.New(nil), 0.002)
+		}
+		res, err := d.Run(g, workload.Poisson{}, 4e6, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	traced := run(true)
+	if plain.Offered != traced.Offered || plain.Forwarded != traced.Forwarded ||
+		plain.LatencyMeanUs != traced.LatencyMeanUs {
+		t.Errorf("tracing changed the measurement: %+v vs %+v", plain, traced)
+	}
+}
+
+func benchRun(b *testing.B, observe bool) {
+	for i := 0; i < b.N; i++ {
+		d, err := SmartNICFirewall()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := E6Workload(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if observe {
+			tr := obs.New(nil)
+			d.Observe(tr, 0.002)
+		}
+		if _, err := d.Run(g, workload.Poisson{}, 4e6, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchTracingOff vs ...On quantifies the tracing tax; the
+// Off variant is the guard that the nil-safe hooks keep the untraced
+// hot path cheap.
+func BenchmarkDispatchTracingOff(b *testing.B) { benchRun(b, false) }
+func BenchmarkDispatchTracingOn(b *testing.B)  { benchRun(b, true) }

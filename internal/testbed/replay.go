@@ -133,6 +133,7 @@ func (d *Deployment) RunTrace(tr *workload.TraceReader, stretch float64) (Result
 		fair = measure.NewFairnessMeter()
 	)
 	tput.Start(0)
+	d.armObs(horizon)
 	scratch := packet.NewParser()
 	for _, r := range recs {
 		r := r

@@ -20,6 +20,7 @@ import (
 	"fairbench/internal/hw"
 	"fairbench/internal/measure"
 	"fairbench/internal/nf"
+	"fairbench/internal/obs"
 	"fairbench/internal/packet"
 	"fairbench/internal/perf"
 	"fairbench/internal/sim"
@@ -99,6 +100,11 @@ type Deployment struct {
 
 	nfs     []nf.Func
 	parsers []*packet.Parser
+
+	// tr is the optional observability tracer; nil (the default) keeps
+	// the hot path free of tracing work.
+	tr          *obs.Tracer
+	sampleEvery float64
 }
 
 // New assembles a deployment.
@@ -187,6 +193,108 @@ func (d *Deployment) SmartNIC() *hw.SmartNIC { return d.smartnic }
 // Switch exposes the switch model (nil if absent) for tests.
 func (d *Deployment) Switch() *hw.Switch { return d.sw }
 
+// kernelTraceEvery throttles kernel progress events: one record per
+// this many executed simulation events keeps traces compact while still
+// showing virtual-clock progress and queue depth.
+const kernelTraceEvery = 256
+
+// Observe attaches an observability tracer to the deployment. Call it
+// before Run/RunTrace. The trace records per-packet lifecycle spans
+// with a per-stage latency breakdown and kernel progress; when
+// sampleEvery > 0, a deterministic periodic sampler additionally
+// records per-device utilization, queue depth and instantaneous power
+// every sampleEvery seconds of virtual time. A nil tracer (the
+// default) leaves the hot path untouched.
+func (d *Deployment) Observe(tr *obs.Tracer, sampleEvery float64) {
+	d.tr = tr
+	d.sampleEvery = sampleEvery
+}
+
+// Tracer returns the attached tracer (nil when untraced).
+func (d *Deployment) Tracer() *obs.Tracer { return d.tr }
+
+// armObs installs the kernel hook and sampler for a traced run.
+func (d *Deployment) armObs(horizon sim.Time) {
+	if d.tr == nil {
+		return
+	}
+	d.tr.Emit(obs.Event{T: d.s.Now().Seconds(), Kind: "run", Device: d.cfg.Name})
+	d.s.SetTrace(obs.KernelHook(d.tr), kernelTraceEvery)
+	if d.sampleEvery > 0 {
+		// Scheduling the first tick can only fail for an invalid
+		// period, which the Sampler reports; surface it as a trace
+		// error rather than failing the measurement.
+		sampler := obs.NewSampler(d.tr, d.sampleEvery, d.obsSources()...)
+		_ = sampler.Arm(d.s, horizon.Seconds())
+	}
+}
+
+// finishObs closes out a traced run.
+func (d *Deployment) finishObs(end sim.Time) {
+	if d.tr == nil {
+		return
+	}
+	d.tr.Emit(obs.Event{T: end.Seconds(), Kind: "run-end", Events: d.s.Processed()})
+}
+
+// obsSources builds the sampler probes in the same stable order as
+// Devices().
+func (d *Deployment) obsSources() []obs.Source {
+	out := []obs.Source{{
+		Name: d.chassis.Name(), IdleWatts: d.chassis.Watts, ActiveWatts: d.chassis.Watts,
+	}}
+	if d.nic != nil {
+		out = append(out, obs.Source{Name: d.nic.Name(), IdleWatts: d.nic.Watts, ActiveWatts: d.nic.Watts})
+	}
+	if d.smartnic != nil {
+		cfg := d.smartnic.Config()
+		out = append(out, obs.Source{
+			Name: d.smartnic.Name(), Busy: d.smartnic.BusySeconds, Queue: d.smartnic.BacklogPackets,
+			IdleWatts: cfg.IdleWatts, ActiveWatts: cfg.ActiveWatts,
+		})
+	}
+	for _, c := range d.cores {
+		cfg := c.Config()
+		out = append(out, obs.Source{
+			Name: c.Name(), Busy: c.BusySeconds, Queue: c.QueueLen,
+			IdleWatts: cfg.IdleWatts, ActiveWatts: cfg.ActiveWatts,
+		})
+	}
+	if d.sw != nil {
+		w := d.sw.Config().Watts
+		out = append(out, obs.Source{Name: d.sw.Name(), IdleWatts: w, ActiveWatts: w})
+	}
+	if d.fpga != nil {
+		cfg := d.fpga.Config()
+		out = append(out, obs.Source{
+			Name: d.fpga.Name(), Busy: d.fpga.BusySeconds, Queue: d.fpga.BacklogPackets,
+			IdleWatts: cfg.IdleWatts, ActiveWatts: cfg.ActiveWatts,
+		})
+	}
+	return out
+}
+
+// startSpan opens a packet lifecycle span (nil when untraced).
+func (d *Deployment) startSpan() *obs.Span {
+	return d.tr.StartSpan(d.s.Now().Seconds())
+}
+
+// spanSojourn attributes a device sojourn to the span's standard
+// stages: queueing, service, and fixed I/O latency.
+func spanSojourn(sp *obs.Span, so hw.Sojourn) {
+	sp.Stage("queue", so.WaitSeconds)
+	sp.Stage("service", so.ServiceSeconds)
+	sp.Stage("io", so.FixedSeconds)
+}
+
+// verdictLabel renders an NF verdict for trace events.
+func verdictLabel(forwarded bool) string {
+	if forwarded {
+		return "forward"
+	}
+	return "drop"
+}
+
 // Result is the measured outcome of a Run.
 type Result struct {
 	Name     string
@@ -246,6 +354,7 @@ func (d *Deployment) runInjected(arrival workload.Arrival, offeredPps, durationS
 		injErr  error
 	)
 	tput.Start(0)
+	d.armObs(horizon)
 
 	var schedule func(at sim.Time)
 	schedule = func(at sim.Time) {
@@ -277,6 +386,12 @@ func (d *Deployment) runInjected(arrival workload.Arrival, offeredPps, durationS
 
 // collect assembles the Result from the meters and device energy.
 func (d *Deployment) collect(tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter, end sim.Time) (Result, error) {
+	if end <= 0 {
+		// Run/RunTrace validate durations, so this is defensive: a
+		// zero-length window must not divide energy by zero below.
+		return Result{}, fmt.Errorf("testbed: %s: empty measurement window", d.cfg.Name)
+	}
+	d.finishObs(end)
 	res := Result{
 		Name:          d.cfg.Name,
 		Duration:      end.Duration(),
@@ -306,17 +421,22 @@ func (d *Deployment) collect(tput *measure.ThroughputMeter, lat *measure.Latency
 }
 
 // dispatch pushes one offered packet through the deployment's path.
+// When a tracer is attached, every packet gets a lifecycle span whose
+// stage durations sum to the latency the meters record.
 func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter) {
 	size := len(pk.Frame)
 	extraLatency := 0.0
+	sp := d.startSpan()
 
 	// Stage 1: programmable switch preprocessing at line rate.
 	if d.sw != nil {
 		verdict, swLat := d.sw.Process(pk.Flow)
+		sp.Stage("switch", swLat)
 		if verdict == nf.Drop {
 			// Pre-dropped in-network: processed work, not forwarded.
 			tput.Process(size, false)
 			_ = lat.RecordSeconds(swLat)
+			sp.End(d.sw.Name(), "drop")
 			return
 		}
 		extraLatency += swLat
@@ -325,15 +445,18 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 	// Stage 2: FPGA full offload.
 	if d.fpga != nil {
 		verdict := d.functionalVerdict(pk)
-		if !d.fpga.Submit(func(l float64) {
+		if !d.fpga.Submit(func(so hw.Sojourn) {
 			forwarded := verdict != nf.Drop
 			tput.Process(size, forwarded)
 			if forwarded {
 				fair.Record(pk.Flow, size)
 			}
-			_ = lat.RecordSeconds(l + extraLatency)
+			_ = lat.RecordSeconds(so.Total() + extraLatency)
+			spanSojourn(sp, so)
+			sp.End(d.fpga.Name(), verdictLabel(forwarded))
 		}) {
 			tput.Lose()
+			sp.End(d.fpga.Name(), "loss")
 		}
 		return
 	}
@@ -341,44 +464,52 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 	// Stage 3: SmartNIC fast path for established flows.
 	if d.smartnic != nil {
 		flow := pk.Flow
-		if d.smartnic.Offload(flow, func(l float64) {
+		if d.smartnic.Offload(flow, func(so hw.Sojourn) {
 			tput.Process(size, true)
 			fair.Record(flow, size)
-			_ = lat.RecordSeconds(l + extraLatency)
+			_ = lat.RecordSeconds(so.Total() + extraLatency)
+			spanSojourn(sp, so)
+			sp.End(d.smartnic.Name(), "forward")
 		}) {
 			return
 		}
 	}
 
 	// Stage 4: host slow path.
-	d.hostPath(pk, size, extraLatency, tput, lat, fair)
+	d.hostPath(pk, size, extraLatency, sp, tput, lat, fair)
 }
 
 // hostPath runs the NF on the packet's RSS core.
-func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter) {
+func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, sp *obs.Span, tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter) {
 	if len(d.cores) == 0 {
 		tput.Lose()
+		sp.End("host", "loss")
 		return
 	}
 	coreID := hw.RSS(pk.Flow, len(d.cores))
+	core := d.cores[coreID]
 	parser := d.parsers[coreID]
 	if err := parser.Parse(pk.Frame); err != nil {
 		tput.Lose()
+		sp.End(core.Name(), "loss")
 		return
 	}
 	res, err := d.nfs[coreID].Process(parser, pk.Frame)
 	if err != nil {
 		tput.Lose()
+		sp.End(core.Name(), "loss")
 		return
 	}
 	flow := pk.Flow
-	ok := d.cores[coreID].Submit(res.Cycles, func(l float64) {
+	ok := core.Submit(res.Cycles, func(so hw.Sojourn) {
 		forwarded := res.Verdict != nf.Drop
 		tput.Process(size, forwarded)
 		if forwarded {
 			fair.Record(flow, size)
 		}
-		_ = lat.RecordSeconds(l + extraLatency)
+		_ = lat.RecordSeconds(so.Total() + extraLatency)
+		spanSojourn(sp, so)
+		sp.End(core.Name(), verdictLabel(forwarded))
 		// Install the offload entry once the host has vetted the flow.
 		if d.smartnic != nil && forwarded {
 			d.smartnic.Install(flow)
@@ -386,6 +517,7 @@ func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, t
 	})
 	if !ok {
 		tput.Lose()
+		sp.End(core.Name(), "loss")
 	}
 }
 

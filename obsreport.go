@@ -1,0 +1,113 @@
+package fairbench
+
+import (
+	"fmt"
+
+	"fairbench/internal/obs"
+	"fairbench/internal/report"
+	"fairbench/internal/testbed"
+	"fairbench/internal/workload"
+)
+
+// Observability artifacts for the §4.2 SmartNIC firewall example: a
+// traced run attributes every packet's end-to-end latency to pipeline
+// stages, turning the single "latency p50" number into an auditable
+// breakdown (where do the microseconds go — NIC fast path vs. host
+// I/O?). This is the paper's §4.3 point made measurable: the host's
+// fixed I/O latency dominates even at low utilization.
+
+// BreakdownResult is a traced SmartNIC firewall run.
+type BreakdownResult struct {
+	// Result is the measured operating point.
+	Result testbed.Result
+	// Stages aggregates per-stage latency attribution over all spans.
+	Stages []obs.StageStat
+	// Spans is the number of packet lifecycle spans recorded.
+	Spans uint64
+	// TotalSeconds sums end-to-end latency across all spans.
+	TotalSeconds float64
+	// FirstSpans holds the first packet lifecycles of the run (up to
+	// 40), which the timeline renders.
+	FirstSpans []obs.Event
+}
+
+// RunSmartNICBreakdown runs the SmartNIC firewall under the E6 workload
+// with tracing attached and returns the per-stage latency attribution.
+func RunSmartNICBreakdown(o ExpOptions) (BreakdownResult, error) {
+	o = o.withDefaults()
+	d, err := testbed.SmartNICFirewall()
+	if err != nil {
+		return BreakdownResult{}, err
+	}
+	g, err := testbed.E6Workload(o.Seed)
+	if err != nil {
+		return BreakdownResult{}, err
+	}
+	tr := obs.New(nil)
+	var first []obs.Event
+	tr.SetSink(func(e obs.Event) {
+		if e.Kind == "span" && len(first) < 40 {
+			first = append(first, e)
+		}
+	})
+	d.Observe(tr, o.TrialSeconds/50)
+	res, err := d.Run(g, workload.Poisson{}, 4e6, o.TrialSeconds)
+	if err != nil {
+		return BreakdownResult{}, err
+	}
+	bd := tr.Breakdown()
+	return BreakdownResult{
+		Result:       res,
+		Stages:       bd.Stages(),
+		Spans:        bd.Spans(),
+		TotalSeconds: bd.TotalSeconds(),
+		FirstSpans:   first,
+	}, nil
+}
+
+// BreakdownReport renders the per-stage latency attribution table.
+func BreakdownReport(r BreakdownResult) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("SmartNIC firewall: per-stage latency breakdown (%d packets)", r.Spans),
+		"Stage", "Count", "Mean (µs)", "Total (ms)", "Share")
+	for _, st := range r.Stages {
+		share := 0.0
+		if r.TotalSeconds > 0 {
+			share = st.TotalSeconds / r.TotalSeconds
+		}
+		t.AddRowf("%s|%d|%.3f|%.3f|%.1f%%",
+			st.Name, st.Count, st.MeanSeconds()*1e6, st.TotalSeconds*1e3, share*100)
+	}
+	return t
+}
+
+// BreakdownTimeline renders the first packet lifecycles as a Gantt-style
+// timeline: one lane per deciding device, one colored segment per
+// attributed stage, µs of virtual time on the x axis.
+func BreakdownTimeline(r BreakdownResult) *report.Timeline {
+	tl := &report.Timeline{
+		Title:  "SmartNIC firewall: first packet lifecycles by stage",
+		XLabel: "virtual time (µs)",
+	}
+	laneIdx := map[string]int{}
+	for _, e := range r.FirstSpans {
+		i, ok := laneIdx[e.Device]
+		if !ok {
+			i = len(tl.Lanes)
+			laneIdx[e.Device] = i
+			tl.Lanes = append(tl.Lanes, report.TimelineLane{Name: e.Device})
+		}
+		at := e.T * 1e6 // µs
+		for _, st := range e.Stages {
+			if st.Dur <= 0 {
+				continue
+			}
+			end := at + st.Dur*1e6
+			tl.Lanes[i].Spans = append(tl.Lanes[i].Spans, report.TimelineSpan{
+				Start: at, End: end, Class: st.Name,
+			})
+			at = end
+		}
+	}
+	return tl
+}

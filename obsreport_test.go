@@ -1,0 +1,73 @@
+package fairbench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fairbench/internal/obs"
+)
+
+func TestRunSmartNICBreakdown(t *testing.T) {
+	r, err := RunSmartNICBreakdown(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spans == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if len(r.Stages) == 0 {
+		t.Fatal("no stage attribution")
+	}
+	names := map[string]bool{}
+	var total float64
+	for _, st := range r.Stages {
+		names[st.Name] = true
+		total += st.TotalSeconds
+	}
+	for _, want := range []string{"queue", "service", "io"} {
+		if !names[want] {
+			t.Errorf("stage %q missing from breakdown (have %v)", want, names)
+		}
+	}
+	// Stage totals account for the summed end-to-end latency.
+	if math.Abs(total-r.TotalSeconds) > 1e-9*math.Max(1, total) {
+		t.Errorf("stage totals %v != span total %v", total, r.TotalSeconds)
+	}
+	if len(r.FirstSpans) == 0 {
+		t.Error("no timeline spans captured")
+	}
+
+	rep := BreakdownReport(r).Markdown()
+	for _, frag := range []string{"per-stage latency breakdown", "service", "io", "Share"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep)
+		}
+	}
+
+	svg := BreakdownTimeline(r).SVG()
+	if !strings.HasPrefix(svg, "<svg ") || !strings.Contains(svg, "virtual time") {
+		t.Error("timeline SVG malformed")
+	}
+}
+
+func TestBreakdownTimelineLanes(t *testing.T) {
+	r := BreakdownResult{FirstSpans: []obs.Event{
+		{T: 0, Kind: "span", Device: "nic", Stages: []obs.StageDur{
+			{Name: "service", Dur: 1e-6}, {Name: "io", Dur: 2e-6}}},
+		{T: 1e-6, Kind: "span", Device: "core0", Stages: []obs.StageDur{
+			{Name: "queue", Dur: 0}, {Name: "service", Dur: 1e-6}}},
+	}}
+	tl := BreakdownTimeline(r)
+	if len(tl.Lanes) != 2 {
+		t.Fatalf("lanes = %d, want one per device", len(tl.Lanes))
+	}
+	// Zero-duration stages are skipped; segments are contiguous in µs.
+	nicSpans := tl.Lanes[0].Spans
+	if len(nicSpans) != 2 || nicSpans[0].End != nicSpans[1].Start {
+		t.Errorf("nic lane spans = %+v", nicSpans)
+	}
+	if got := tl.Lanes[1].Spans; len(got) != 1 || got[0].Class != "service" {
+		t.Errorf("core lane should skip zero-duration queue stage: %+v", got)
+	}
+}
