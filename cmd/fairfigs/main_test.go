@@ -25,7 +25,8 @@ func TestRunQuickGeneratesAllArtifacts(t *testing.T) {
 		"pitfalls.txt", "rfc2544.txt", "rfc2544-loss.csv",
 		"rfc2544-latency.csv", "rfc2544-loss.svg", "rfc2544-latency.svg",
 		"burst.txt", "burst-latency.svg", "ablation-stateful.txt",
-		"operating-curves.txt", "operating-curves.csv", "sensitivity.txt",
+		"operating-curves.txt", "operating-curves.csv",
+		"fault-sweep.txt", "fault-sweep.csv", "sensitivity.txt",
 		"frontier.txt", "frontier.svg", "pricing-release.json",
 	}
 	for _, name := range want {

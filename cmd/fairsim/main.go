@@ -9,6 +9,7 @@
 //	fairsim -system {host|smartnic|switch|fpga} [-cores N] [-pps RATE]
 //	        [-seconds S] [-attack FRAC] [-poisson] [-seed N] [-search]
 //	        [-impair-drop P] [-impair-corrupt P] [-impair-dup P]
+//	        [-faults SPEC]
 //	        [-record FILE -count N] [-replay FILE -stretch X]
 //	        [-trace FILE [-sample-every DT] [-metrics FILE]]
 //
@@ -16,6 +17,19 @@
 // replaces the single fixed-rate run. The -impair-* flags inject
 // ingress faults; -record captures a trace and -replay runs one through
 // the deployment at its recorded (optionally stretched) timestamps.
+//
+// With -faults, the run injects a deterministic fault schedule —
+// device outages with failover, brownout derating, link loss and
+// corruption, burst overload — and reports per-window availability,
+// degradation depth and recovery time alongside the measurement. The
+// spec grammar is internal/fault's, e.g.:
+//
+//	fairsim -system smartnic -faults 'outage:dev=smartnic,at=10ms,for=10ms'
+//	fairsim -system host -faults 'brownout:dev=cores,at=0,for=20ms,factor=0.5;seed:17'
+//
+// -faults composes with -trace (fault windows appear as spans in the
+// trace) and with -replay (faults strike the replayed traffic; burst
+// clauses are ignored because replay pacing is the trace's).
 //
 // With -trace, the run writes a deterministic JSONL observability trace
 // (per-packet lifecycle spans with per-stage latency attribution,
@@ -32,6 +46,7 @@ import (
 	"os"
 	"strings"
 
+	"fairbench/internal/fault"
 	"fairbench/internal/hw"
 	"fairbench/internal/obs"
 	"fairbench/internal/report"
@@ -61,6 +76,7 @@ func run(args []string, stdout io.Writer) error {
 	dropProb := fs.Float64("impair-drop", 0, "ingress drop probability (failure injection)")
 	corruptProb := fs.Float64("impair-corrupt", 0, "ingress byte-corruption probability")
 	dupProb := fs.Float64("impair-dup", 0, "ingress duplication probability")
+	faults := fs.String("faults", "", "fault spec, e.g. 'outage:dev=smartnic,at=10ms,for=10ms;linkloss:prob=0.01'")
 	record := fs.String("record", "", "record a trace of the workload to this file and exit")
 	count := fs.Int("count", 10000, "packets to record with -record")
 	replay := fs.String("replay", "", "replay a recorded trace through the deployment instead of generating traffic")
@@ -94,6 +110,26 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *sampleEvery < 0 {
 		return fmt.Errorf("-sample-every must be positive, got %v", *sampleEvery)
+	}
+
+	// -faults drives a dedicated measured run: it composes with -trace
+	// and -replay but not with the other run modes or the legacy
+	// impairment flags (the fault spec subsumes them).
+	var faultSpec fault.Spec
+	if *faults != "" {
+		switch {
+		case *search:
+			return fmt.Errorf("-faults and -search are mutually exclusive (the throughput search assumes the healthy regime)")
+		case *record != "":
+			return fmt.Errorf("-faults and -record are mutually exclusive (recording captures workload, not faults)")
+		case *dropProb != 0 || *corruptProb != 0 || *dupProb != 0:
+			return fmt.Errorf("-faults and -impair-* are mutually exclusive (use linkloss/linkcorrupt clauses instead)")
+		}
+		var err error
+		faultSpec, err = fault.ParseSpec(*faults)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
 	}
 
 	mkDeployment := func() (*testbed.Deployment, error) {
@@ -191,6 +227,16 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *faults != "" {
+			res, rep, err := d.RunTraceWithFaults(tr, *stretch, faultSpec)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "replayed %d packets (stretch %.2f)\n", tr.Count(), *stretch)
+			printFaultReport(stdout, rep)
+			printResult(stdout, res)
+			return finish()
+		}
 		res, err := d.RunTrace(tr, *stretch)
 		if err != nil {
 			return err
@@ -227,6 +273,15 @@ func run(args []string, stdout io.Writer) error {
 	if *poisson {
 		arrival = workload.Poisson{}
 	}
+	if *faults != "" {
+		res, rep, err := d.RunWithFaults(g, arrival, *pps, *seconds, faultSpec)
+		if err != nil {
+			return err
+		}
+		printFaultReport(stdout, rep)
+		printResult(stdout, res)
+		return finish()
+	}
 	im := testbed.Impairments{DropProb: *dropProb, CorruptProb: *corruptProb, DupProb: *dupProb}
 	res, stats, err := d.RunWithImpairments(g, arrival, *pps, *seconds, im)
 	if err != nil {
@@ -238,6 +293,26 @@ func run(args []string, stdout io.Writer) error {
 	}
 	printResult(stdout, res)
 	return finish()
+}
+
+// printFaultReport renders the injected fault schedule and the
+// availability figures of a faulted run.
+func printFaultReport(w io.Writer, rep testbed.FaultReport) {
+	t := report.NewTable(fmt.Sprintf("Injected faults: %s", rep.Spec),
+		"Window", "Kind", "Target", "Start (ms)", "End (ms)", "Severity")
+	for i, win := range rep.Windows {
+		sev := "-"
+		if win.Severity != 0 {
+			sev = fmt.Sprintf("%g", win.Severity)
+		}
+		t.AddRowf("%d|%s|%s|%.3f|%.3f|%s",
+			i, win.Kind, win.Target, win.Start*1e3, win.End*1e3, sev)
+	}
+	fmt.Fprint(w, t.Text())
+	if rep.LinkDropped > 0 || rep.LinkCorrupted > 0 {
+		fmt.Fprintf(w, "link faults: %d dropped, %d corrupted\n", rep.LinkDropped, rep.LinkCorrupted)
+	}
+	fmt.Fprintf(w, "%s\n", rep.Avail)
 }
 
 // printBreakdown renders the per-stage latency attribution of a traced

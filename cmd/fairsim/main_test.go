@@ -257,3 +257,95 @@ func TestMetricsJSONLExport(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWithFaultsFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-system", "smartnic", "-poisson", "-pps", "4e6", "-seconds", "0.02",
+		"-faults", "outage:dev=smartnic,at=5ms,for=5ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"Injected faults", "outage", "availability", "depth", "recovery", "loss"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunFaultsComposesWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "faulted.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-system", "smartnic", "-pps", "2e6", "-seconds", "0.01",
+		"-faults", "outage:dev=smartnic,at=2ms,for=2ms", "-trace", tracePath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faultSpans, faultEnds int
+	for i, ln := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		switch e.Kind {
+		case "fault":
+			faultSpans++
+		case "fault-end":
+			faultEnds++
+		}
+	}
+	if faultSpans != 1 || faultEnds != 1 {
+		t.Errorf("trace has %d fault / %d fault-end events, want 1/1", faultSpans, faultEnds)
+	}
+}
+
+func TestReplayWithFaultsFlag(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "flow.fbtrace")
+	var out bytes.Buffer
+	if err := run([]string{"-record", trace, "-count", "5000", "-pps", "1e6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := run([]string{"-replay", trace, "-system", "host",
+		"-faults", "linkloss:prob=0.2;seed:5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Injected faults") || !strings.Contains(got, "dropped") {
+		t.Errorf("faulted replay output:\n%s", got)
+	}
+}
+
+func TestFaultsFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"faults+search", []string{"-faults", "linkloss:prob=0.1", "-search"}, "mutually exclusive"},
+		{"faults+record", []string{"-faults", "linkloss:prob=0.1", "-record", "a"}, "mutually exclusive"},
+		{"faults+impair", []string{"-faults", "linkloss:prob=0.1", "-impair-drop", "0.1"}, "mutually exclusive"},
+		{"unknown kind", []string{"-faults", "meteor:dev=cores"}, "-faults"},
+		{"bad prob", []string{"-faults", "linkloss:prob=1.5"}, "-faults"},
+		{"bad duration", []string{"-faults", "outage:dev=cores,at=banana"}, "-faults"},
+		{"missing value", []string{"-faults", "outage:dev="}, "-faults"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		err := run(c.args, &out)
+		if err == nil {
+			t.Errorf("%s: expected an error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}

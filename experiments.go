@@ -5,6 +5,7 @@ import (
 
 	"fairbench/internal/core"
 	"fairbench/internal/hw"
+	"fairbench/internal/measure"
 	"fairbench/internal/metric"
 	"fairbench/internal/nf"
 	"fairbench/internal/report"
@@ -78,6 +79,27 @@ func (m MeasuredSystem) ThroughputPowerSystem(scalable bool) System {
 	return SystemPoint{Name: m.Name, Gbps: m.ThroughputGbps, Watts: m.PowerWatts, Scalable: scalable}.throughputSystem()
 }
 
+// CheckFinite rejects measurements poisoned by an empty or fully
+// dropped trial window (NaN/Inf aggregates) before they become points
+// in a comparison plane; the error wraps measure.ErrNonFinite.
+func (m MeasuredSystem) CheckFinite() error {
+	for _, c := range []struct {
+		what string
+		v    float64
+	}{
+		{"throughput_gbps", m.ThroughputGbps},
+		{"throughput_pps", m.ThroughputPps},
+		{"power_watts", m.PowerWatts},
+		{"latency_p50_us", m.LatencyP50Us},
+		{"latency_p99_us", m.LatencyP99Us},
+	} {
+		if err := measure.CheckFinite(m.Name+" "+c.what, c.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // measureThroughput runs an RFC 2544 search against a deployment
 // factory and packages the result.
 func measureThroughput(name string, dut rfc2544.DUTFactory, gen rfc2544.GenFactory, o ExpOptions, maxPps float64) (MeasuredSystem, error) {
@@ -88,14 +110,18 @@ func measureThroughput(name string, dut rfc2544.DUTFactory, gen rfc2544.GenFacto
 	if res.Pps == 0 {
 		return MeasuredSystem{}, fmt.Errorf("measuring %s: no sustainable rate found", name)
 	}
-	return MeasuredSystem{
+	m := MeasuredSystem{
 		Name:           name,
 		ThroughputGbps: res.Passing.Processed.GbPerSecond(),
 		ThroughputPps:  res.Pps,
 		PowerWatts:     res.Passing.ProvisionedPowerWatts,
 		LatencyP50Us:   res.Passing.LatencyP50Us,
 		LatencyP99Us:   res.Passing.LatencyP99Us,
-	}, nil
+	}
+	if err := m.CheckFinite(); err != nil {
+		return MeasuredSystem{}, fmt.Errorf("measuring %s: %w", name, err)
+	}
+	return m, nil
 }
 
 // --- E1 / E10: Table 1 and the §3.4 scorecard -----------------------

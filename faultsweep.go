@@ -1,0 +1,167 @@
+package fairbench
+
+import (
+	"fmt"
+
+	"fairbench/internal/core"
+	"fairbench/internal/fault"
+	"fairbench/internal/measure"
+	"fairbench/internal/metric"
+	"fairbench/internal/report"
+	"fairbench/internal/testbed"
+	"fairbench/internal/workload"
+)
+
+// Fault sweep: fairness under failure. The paper's Principle 2 says
+// systems must be compared in the same operating regime; a deployment's
+// regimes include degraded ones. This experiment runs the §4.2 pair —
+// the SmartNIC-accelerated firewall vs the 2-core host baseline — at a
+// fixed offered load under every regime in the scenario catalogue
+// (healthy, SmartNIC outage, core brownout, link loss, burst overload),
+// and asks whether the healthy-regime Pareto verdict survives failure.
+
+// faultSweepOfferedPps is the sweep's fixed offered load: just under
+// the SmartNIC fast-path capacity, comfortably within the 2-core
+// baseline, so healthy-regime differences come from the systems and
+// degraded-regime differences come from the faults.
+const faultSweepOfferedPps = 4e6
+
+// FaultedMeasurement is one system's measured operating point under one
+// fault regime, including the degraded-regime figures of merit.
+type FaultedMeasurement struct {
+	Name         string
+	GoodputGbps  float64
+	PowerWatts   float64
+	LossFraction float64
+	// Availability figures from the per-window meter.
+	Availability          float64
+	MinWindowAvailability float64
+	DegradationDepth      float64
+	RecoverySeconds       float64
+}
+
+// FaultSweepRow pairs the two systems' measurements under one regime.
+type FaultSweepRow struct {
+	Regime             testbed.FaultRegime
+	Proposed, Baseline FaultedMeasurement
+}
+
+// FaultSweepResult is the full sweep plus the cross-regime comparison.
+type FaultSweepResult struct {
+	OfferedPps float64
+	Rows       []FaultSweepRow
+	Comparison core.DegradedComparison
+}
+
+// runFaulted measures one deployment under one fault spec.
+func runFaulted(mk func() (*testbed.Deployment, error), o ExpOptions, spec fault.Spec) (FaultedMeasurement, error) {
+	d, err := mk()
+	if err != nil {
+		return FaultedMeasurement{}, err
+	}
+	g, err := testbed.E6Workload(o.Seed)
+	if err != nil {
+		return FaultedMeasurement{}, err
+	}
+	res, rep, err := d.RunWithFaults(g, workload.Poisson{}, faultSweepOfferedPps, o.TrialSeconds, spec)
+	if err != nil {
+		return FaultedMeasurement{}, err
+	}
+	m := FaultedMeasurement{
+		Name:                  res.Name,
+		GoodputGbps:           res.Processed.GbPerSecond(),
+		PowerWatts:            res.ProvisionedPowerWatts,
+		LossFraction:          res.LossFraction,
+		Availability:          rep.Avail.Availability,
+		MinWindowAvailability: rep.Avail.MinWindowAvailability,
+		DegradationDepth:      rep.Avail.DegradationDepth,
+		RecoverySeconds:       rep.Avail.RecoverySeconds,
+	}
+	for _, c := range []struct {
+		what string
+		v    float64
+	}{{"goodput", m.GoodputGbps}, {"power", m.PowerWatts}, {"availability", m.Availability}} {
+		if err := measure.CheckFinite(res.Name+" "+c.what, c.v); err != nil {
+			return FaultedMeasurement{}, err
+		}
+	}
+	return m, nil
+}
+
+// RunFaultSweep measures both systems under every catalogue regime and
+// compares them per regime (first regime = healthy reference).
+func RunFaultSweep(o ExpOptions) (FaultSweepResult, error) {
+	o = o.withDefaults()
+	out := FaultSweepResult{OfferedPps: faultSweepOfferedPps}
+	var pts []core.RegimePoint
+	for _, regime := range testbed.FaultSweepRegimes(o.TrialSeconds) {
+		spec := fault.Spec{}
+		if regime.Spec != "" {
+			var err error
+			spec, err = fault.ParseSpec(regime.Spec)
+			if err != nil {
+				return out, fmt.Errorf("fault sweep: regime %s: %w", regime.Name, err)
+			}
+		}
+		prop, err := runFaulted(func() (*testbed.Deployment, error) { return testbed.SmartNICFirewall() }, o, spec)
+		if err != nil {
+			return out, fmt.Errorf("fault sweep: regime %s: %w", regime.Name, err)
+		}
+		base, err := runFaulted(func() (*testbed.Deployment, error) { return testbed.BaselineFirewall(2) }, o, spec)
+		if err != nil {
+			return out, fmt.Errorf("fault sweep: regime %s: %w", regime.Name, err)
+		}
+		out.Rows = append(out.Rows, FaultSweepRow{Regime: regime, Proposed: prop, Baseline: base})
+		pts = append(pts, core.RegimePoint{
+			Regime:   regime.Name,
+			Proposed: core.Pt(metric.Q(prop.GoodputGbps, metric.GigabitPerSecond), metric.Q(prop.PowerWatts, metric.Watt)),
+			Baseline: core.Pt(metric.Q(base.GoodputGbps, metric.GigabitPerSecond), metric.Q(base.PowerWatts, metric.Watt)),
+		})
+	}
+	var err error
+	out.Comparison, err = core.CompareUnderRegimes(core.DefaultPlane(), pts, core.DefaultTolerance)
+	if err != nil {
+		return out, fmt.Errorf("fault sweep: %w", err)
+	}
+	return out, nil
+}
+
+// FaultSweepReport renders the sweep: per-regime measurements, the
+// per-regime verdicts, and the stability conclusion.
+func FaultSweepReport(r FaultSweepResult) string {
+	t := report.NewTable(
+		fmt.Sprintf("Fairness under failure: fw-smartnic vs fw-host-2core at %.1f Mpps offered", r.OfferedPps/1e6),
+		"Regime", "System", "Goodput (Gb/s)", "Power (W)", "Loss", "Availability", "Depth", "Recovery (ms)")
+	for _, row := range r.Rows {
+		for _, m := range []FaultedMeasurement{row.Proposed, row.Baseline} {
+			t.AddRowf("%s|%s|%.2f|%.0f|%.4f|%.4f|%.4f|%.2f",
+				row.Regime.Name, m.Name, m.GoodputGbps, m.PowerWatts,
+				m.LossFraction, m.Availability, m.DegradationDepth, m.RecoverySeconds*1e3)
+		}
+	}
+	vt := report.NewTable("Per-regime verdicts (reference: "+r.Comparison.Verdicts[0].Regime+")",
+		"Regime", "Relation", "Region class", "Fault spec")
+	for i, v := range r.Comparison.Verdicts {
+		t := r.Rows[i].Regime.Spec
+		if t == "" {
+			t = "(none)"
+		}
+		vt.AddRowf("%s|proposed %s baseline|%s|%s", v.Regime, v.Relation, v.Class, t)
+	}
+	return t.Text() + "\n" + vt.Text() + "\n" + r.Comparison.Summary() + "\n"
+}
+
+// FaultSweepCSV renders the sweep data for plotting.
+func FaultSweepCSV(r FaultSweepResult) string {
+	t := report.NewTable("", "regime", "system", "goodput_gbps", "power_w", "loss_fraction",
+		"availability", "min_window_availability", "degradation_depth", "recovery_ms", "relation")
+	for i, row := range r.Rows {
+		rel := r.Comparison.Verdicts[i].Relation
+		for _, m := range []FaultedMeasurement{row.Proposed, row.Baseline} {
+			t.AddRowf("%s|%s|%.4f|%.1f|%.6f|%.6f|%.6f|%.6f|%.4f|%s",
+				row.Regime.Name, m.Name, m.GoodputGbps, m.PowerWatts, m.LossFraction,
+				m.Availability, m.MinWindowAvailability, m.DegradationDepth, m.RecoverySeconds*1e3, rel)
+		}
+	}
+	return t.CSV()
+}

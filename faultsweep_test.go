@@ -1,0 +1,76 @@
+package fairbench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunFaultSweep(t *testing.T) {
+	r, err := RunFaultSweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regimes := []string{"healthy", "smartnic-outage", "core-brownout", "link-loss", "burst-overload"}
+	if len(r.Rows) != len(regimes) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(regimes))
+	}
+	for i, row := range r.Rows {
+		if row.Regime.Name != regimes[i] {
+			t.Errorf("row %d regime = %s, want %s", i, row.Regime.Name, regimes[i])
+		}
+		for _, m := range []FaultedMeasurement{row.Proposed, row.Baseline} {
+			if m.GoodputGbps <= 0 {
+				t.Errorf("%s under %s: goodput %v", m.Name, row.Regime.Name, m.GoodputGbps)
+			}
+			if m.Availability <= 0 || m.Availability > 1 {
+				t.Errorf("%s under %s: availability %v out of (0,1]", m.Name, row.Regime.Name, m.Availability)
+			}
+		}
+	}
+	// The healthy reference must be the first verdict, and the targeted
+	// faults must bite: the SmartNIC outage degrades the proposed
+	// system but not the host baseline (it has no SmartNIC to lose).
+	outage := r.Rows[1]
+	healthy := r.Rows[0]
+	if outage.Proposed.Availability >= healthy.Proposed.Availability {
+		t.Errorf("smartnic outage did not dent proposed availability: %v vs healthy %v",
+			outage.Proposed.Availability, healthy.Proposed.Availability)
+	}
+	if outage.Baseline.Availability != healthy.Baseline.Availability {
+		t.Errorf("smartnic outage perturbed the host-only baseline: %v vs %v",
+			outage.Baseline.Availability, healthy.Baseline.Availability)
+	}
+	if len(r.Comparison.Verdicts) != len(regimes) {
+		t.Errorf("verdicts = %d, want %d", len(r.Comparison.Verdicts), len(regimes))
+	}
+
+	rep := FaultSweepReport(r)
+	for _, frag := range []string{"healthy", "smartnic-outage", "Availability", "Per-regime verdicts", "verdict"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep)
+		}
+	}
+	csv := FaultSweepCSV(r)
+	// Header plus one line per system per regime.
+	if lines := strings.Count(strings.TrimSpace(csv), "\n") + 1; lines != 1+2*len(regimes) {
+		t.Errorf("csv has %d lines, want %d:\n%s", lines, 1+2*len(regimes), csv)
+	}
+}
+
+func TestRunFaultSweepDeterministic(t *testing.T) {
+	a, err := RunFaultSweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaultSweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("fault sweep is not deterministic across identical runs")
+	}
+	if FaultSweepReport(a) != FaultSweepReport(b) || FaultSweepCSV(a) != FaultSweepCSV(b) {
+		t.Error("fault sweep rendering is not deterministic")
+	}
+}

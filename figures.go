@@ -131,6 +131,14 @@ func RenderAll(o ExpOptions) ([]Artifact, error) {
 	add("operating-curves.txt", OperatingCurveReport(oc))
 	add("operating-curves.csv", OperatingCurveCSV(oc))
 
+	// Extension — fairness under failure: degraded-regime sweep.
+	fs, err := RunFaultSweep(o)
+	if err != nil {
+		return nil, fmt.Errorf("fault sweep: %w", err)
+	}
+	add("fault-sweep.txt", FaultSweepReport(fs))
+	add("fault-sweep.csv", FaultSweepCSV(fs))
+
 	// Extension — verdict sensitivity to measurement error on the
 	// measured §4.2 systems.
 	sens, err := SensitivityReport(e6, 0.05)

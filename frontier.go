@@ -125,8 +125,15 @@ func FrontierReport(f FrontierResult) string {
 	t := report.NewTable("Design-space sweep: throughput/power frontier (measured, common workload)",
 		"System", "Throughput (Gb/s)", "Power (W)", "Gb/s per W", "On frontier")
 	for _, s := range f.Systems {
-		t.AddRowf("%s|%.2f|%.0f|%.3f|%s", s.Name, s.ThroughputGbps, s.PowerWatts,
-			s.ThroughputGbps/s.PowerWatts, report.Check(onFrontier[s.Name]))
+		// Power comes from provisioned peak draw, so it is positive for
+		// any real deployment; guard the division anyway so a degenerate
+		// measurement renders as n/a instead of poisoning the table.
+		eff := "n/a"
+		if s.PowerWatts > 0 {
+			eff = fmt.Sprintf("%.3f", s.ThroughputGbps/s.PowerWatts)
+		}
+		t.AddRowf("%s|%.2f|%.0f|%s|%s", s.Name, s.ThroughputGbps, s.PowerWatts,
+			eff, report.Check(onFrontier[s.Name]))
 	}
 	out := t.Text() + "\n"
 	for _, v := range f.Verdicts {

@@ -12,7 +12,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"fairbench/internal/metric"
 )
@@ -101,13 +103,26 @@ type Point struct {
 // Pt constructs a Point.
 func Pt(perf, cost metric.Quantity) Point { return Point{Perf: perf, Cost: cost} }
 
-// Validate checks the point's units against the plane's axes.
+// ErrNonFinitePoint is the typed error Validate wraps when a point
+// carries a NaN or infinite coordinate — the residue of a zero-length
+// or fully-dropped measurement window, which must never silently enter
+// a Pareto comparison.
+var ErrNonFinitePoint = errors.New("core: non-finite point")
+
+// Validate checks the point's units against the plane's axes and that
+// both coordinates are finite.
 func (pt Point) Validate(p Plane) error {
 	if !pt.Perf.Unit.Compatible(p.Perf.Metric.Unit) {
 		return fmt.Errorf("core: perf %s incompatible with axis %q (%s)", pt.Perf, p.Perf.Metric.Name, p.Perf.Metric.Unit.Symbol)
 	}
 	if !pt.Cost.Unit.Compatible(p.Cost.Metric.Unit) {
 		return fmt.Errorf("core: cost %s incompatible with axis %q (%s)", pt.Cost, p.Cost.Metric.Name, p.Cost.Metric.Unit.Symbol)
+	}
+	if v := pt.Perf.Value; math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: perf %q = %v", ErrNonFinitePoint, p.Perf.Metric.Name, v)
+	}
+	if v := pt.Cost.Value; math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: cost %q = %v", ErrNonFinitePoint, p.Cost.Metric.Name, v)
 	}
 	return nil
 }

@@ -54,6 +54,8 @@ func (c SwitchConfig) withDefaults() SwitchConfig {
 // pipeline at line rate, so the host only sees traffic that survives.
 // Switch power is nearly load-independent, which the model reflects.
 type Switch struct {
+	FaultState
+
 	name  string
 	cfg   SwitchConfig
 	rules []nf.Rule
@@ -85,9 +87,12 @@ func (sw *Switch) InstallRules(rules []nf.Rule) int {
 }
 
 // Process classifies a packet at line rate. It returns Drop when a
-// pipeline rule discards the packet, and the pipeline latency.
+// pipeline rule discards the packet, and the pipeline latency. A
+// derated (browned-out) pipeline stretches the stage latency by the
+// derating factor; a downed switch never sees packets (the deployment
+// fails open around it).
 func (sw *Switch) Process(ft packet.FiveTuple) (verdict nf.Verdict, latencySeconds float64) {
-	latencySeconds = float64(sw.cfg.Stages) * sw.cfg.StageLatencySeconds
+	latencySeconds = float64(sw.cfg.Stages) * sw.cfg.StageLatencySeconds * sw.slowdown()
 	for _, r := range sw.rules {
 		if r.Matches(ft) {
 			if r.Action == nf.Drop {
@@ -161,14 +166,18 @@ func (c FPGAConfig) withDefaults() FPGAConfig {
 // pipeline rate with fixed latency; beyond capacity, excess packets are
 // dropped (no elastic queueing in the pipeline model).
 type FPGA struct {
+	FaultState
+
 	name string
 	cfg  FPGAConfig
 	s    *sim.Sim
 
 	nextFree sim.Time
 	busy     float64
-	// Served and Overflowed count pipeline outcomes.
-	Served, Overflowed uint64
+	// Served, Overflowed and Unavailable count pipeline outcomes:
+	// served packets, ingress-buffer overflows, and packets arriving
+	// while the pipeline was down.
+	Served, Overflowed, Unavailable uint64
 }
 
 // NewFPGA builds an FPGA accelerator attached to simulator s.
@@ -182,12 +191,18 @@ func (f *FPGA) Name() string { return f.name }
 // Config returns the effective configuration.
 func (f *FPGA) Config() FPGAConfig { return f.cfg }
 
-// Submit offers a packet to the pipeline. It returns false (drop) when
-// the pipeline has more than a small ingress buffer of backlog,
-// otherwise schedules done with the pipeline sojourn breakdown.
+// Submit offers a packet to the pipeline. It returns false when the
+// pipeline is down or has more than a small ingress buffer of backlog
+// (the caller decides whether that means host failover or loss),
+// otherwise schedules done with the pipeline sojourn breakdown. A
+// derated pipeline serves at its reduced rate.
 func (f *FPGA) Submit(done func(Sojourn)) bool {
+	if f.Down() {
+		f.Unavailable++
+		return false
+	}
 	now := f.s.Now()
-	service := 1 / f.cfg.CapacityPps
+	service := 1 / f.cfg.CapacityPps * f.slowdown()
 	start := f.nextFree
 	if start < now {
 		start = now

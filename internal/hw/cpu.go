@@ -64,6 +64,8 @@ func (c CPUConfig) withDefaults() CPUConfig {
 // to QueueDepth, and excess arrivals are dropped — the behaviour of a
 // poll-mode dataplane core under overload.
 type Core struct {
+	FaultState
+
 	name string
 	cfg  CPUConfig
 	s    *sim.Sim
@@ -98,12 +100,15 @@ func (c *Core) CapacityPps(cycles uint64) float64 {
 }
 
 // Submit offers a packet costing cycles to the core at the current
-// simulated time. If the queue is full the packet is dropped and false
-// is returned. Otherwise done (which may be nil) is invoked when
-// processing completes, with the packet's sojourn-time breakdown.
+// simulated time. If the core is down or the queue is full the packet
+// is dropped and false is returned. Otherwise done (which may be nil)
+// is invoked when processing completes, with the packet's sojourn-time
+// breakdown. A derated (throttled) core stretches the service time by
+// the derating factor, so throttling shows up as longer busy time and
+// higher energy for the same work — the thermal-throttle behaviour.
 func (c *Core) Submit(cycles uint64, done func(Sojourn)) bool {
 	now := c.s.Now()
-	if c.queued >= c.cfg.QueueDepth {
+	if c.Down() || c.queued >= c.cfg.QueueDepth {
 		c.Dropped++
 		return false
 	}
@@ -111,7 +116,7 @@ func (c *Core) Submit(cycles uint64, done func(Sojourn)) bool {
 	if start < now {
 		start = now
 	}
-	service := c.ServiceSeconds(cycles)
+	service := c.ServiceSeconds(cycles) * c.slowdown()
 	finish := start + sim.Time(service)
 	c.nextFree = finish
 	c.queued++

@@ -1,0 +1,38 @@
+package hw
+
+// FaultState is the degraded-mode state shared by every active device
+// model: an outage flag (the device rejects all work) and a service-rate
+// derating factor (thermal throttling / brownout). Devices embed it, so
+// the fault injector actuates any device through the same two methods.
+// The zero value is a healthy device.
+type FaultState struct {
+	down   bool
+	derate float64 // remaining rate fraction; 0 means unset (healthy, 1)
+}
+
+// SetDown marks the device failed (true) or recovered (false).
+func (f *FaultState) SetDown(down bool) { f.down = down }
+
+// Down reports whether the device is in an outage.
+func (f *FaultState) Down() bool { return f.down }
+
+// SetDerate sets the remaining service-rate fraction. Values outside
+// (0, 1] restore full rate — derating can only slow a device down.
+func (f *FaultState) SetDerate(factor float64) {
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	f.derate = factor
+}
+
+// DerateFactor returns the effective remaining rate fraction in (0, 1].
+func (f *FaultState) DerateFactor() float64 {
+	if f.derate == 0 {
+		return 1
+	}
+	return f.derate
+}
+
+// slowdown returns the service-time multiplier (>= 1) the current
+// derating implies.
+func (f *FaultState) slowdown() float64 { return 1 / f.DerateFactor() }

@@ -93,6 +93,8 @@ func (c SmartNICConfig) withDefaults() SmartNICConfig {
 // entirely on the NIC at its dataplane rate. This is the
 // AccelTCP/FlexTOE-style "established flows bypass the host" pattern.
 type SmartNIC struct {
+	FaultState
+
 	name string
 	cfg  SmartNICConfig
 	s    *sim.Sim
@@ -122,26 +124,32 @@ func (sn *SmartNIC) Config() SmartNICConfig { return sn.cfg }
 func (sn *SmartNIC) FlowTableLen() int { return len(sn.table) }
 
 // Install adds a flow to the offload table (called by the host after
-// slow-path processing). It returns false when the table is full.
+// slow-path processing). It returns false when the table is full or the
+// NIC is down (a dead device cannot accept entries).
 func (sn *SmartNIC) Install(ft packet.FiveTuple) bool {
-	if len(sn.table) >= sn.cfg.FlowTableSize {
+	if sn.Down() || len(sn.table) >= sn.cfg.FlowTableSize {
 		return false
 	}
 	sn.table[ft] = true
 	return true
 }
 
+// ResetTable wipes the offload table — the state loss an outage causes:
+// after recovery every flow must be re-vetted by the host slow path.
+func (sn *SmartNIC) ResetTable() { sn.table = make(map[packet.FiveTuple]bool) }
+
 // Offload attempts to handle a packet on the NIC fast path. It returns
 // true (and invokes done with the fast-path sojourn breakdown) when the
 // flow is in the table and the dataplane has headroom; false punts the
-// packet to the host.
+// packet to the host — which is also what an outage or table miss does,
+// giving offload deployments their graceful-degradation path.
 func (sn *SmartNIC) Offload(ft packet.FiveTuple, done func(Sojourn)) bool {
-	if !sn.table[ft] {
+	if sn.Down() || !sn.table[ft] {
 		sn.ToHost++
 		return false
 	}
 	now := sn.s.Now()
-	service := 1 / sn.cfg.CapacityPps
+	service := 1 / sn.cfg.CapacityPps * sn.slowdown()
 	start := sn.nextFree
 	if start < now {
 		start = now

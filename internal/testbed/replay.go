@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"fairbench/internal/fault"
 	"fairbench/internal/measure"
 	"fairbench/internal/packet"
 	"fairbench/internal/sim"
@@ -96,7 +97,7 @@ func (d *Deployment) RunWithImpairments(gen *workload.Generator, arrival workloa
 			d.dispatch(dup, tput, lat, fair)
 		}
 		return nil
-	})
+	}, nil)
 	return res, stats, err
 }
 
@@ -104,8 +105,14 @@ func (d *Deployment) RunWithImpairments(gen *workload.Generator, arrival workloa
 // recorded timestamps (scaled by stretch; 1 = real pacing, 0.5 = twice
 // as fast). The trace is read fully before simulation starts.
 func (d *Deployment) RunTrace(tr *workload.TraceReader, stretch float64) (Result, error) {
+	res, _, err := d.runTrace(tr, stretch, nil, fault.Spec{})
+	return res, err
+}
+
+// runTrace is the shared replay engine; inj == nil replays fault-free.
+func (d *Deployment) runTrace(tr *workload.TraceReader, stretch float64, inj *fault.Injector, spec fault.Spec) (Result, FaultReport, error) {
 	if stretch <= 0 {
-		return Result{}, fmt.Errorf("testbed: non-positive stretch %v", stretch)
+		return Result{}, FaultReport{}, fmt.Errorf("testbed: non-positive stretch %v", stretch)
 	}
 	type rec struct {
 		at    sim.Time
@@ -118,12 +125,12 @@ func (d *Deployment) RunTrace(tr *workload.TraceReader, stretch float64) (Result
 			break
 		}
 		if err != nil {
-			return Result{}, err
+			return Result{}, FaultReport{}, err
 		}
 		recs = append(recs, rec{at: sim.Time(float64(r.TimestampNanos) * 1e-9 * stretch), frame: r.Frame})
 	}
 	if len(recs) == 0 {
-		return Result{}, fmt.Errorf("testbed: empty trace")
+		return Result{}, FaultReport{}, fmt.Errorf("testbed: empty trace")
 	}
 	horizon := recs[len(recs)-1].at + 1e-6
 
@@ -131,26 +138,57 @@ func (d *Deployment) RunTrace(tr *workload.TraceReader, stretch float64) (Result
 		tput measure.ThroughputMeter
 		lat  = measure.NewLatencyMeter()
 		fair = measure.NewFairnessMeter()
+		rep  = FaultReport{Spec: spec}
 	)
 	tput.Start(0)
 	d.armObs(horizon)
+	if inj != nil {
+		if err := d.armFaults(inj, horizon); err != nil {
+			return Result{}, FaultReport{}, err
+		}
+	}
 	scratch := packet.NewParser()
 	for _, r := range recs {
 		r := r
 		if err := d.s.At(r.at, func() {
 			tput.Offer(len(r.frame))
-			pk := workload.Pkt{Frame: r.frame}
-			if err := scratch.Parse(r.frame); err == nil {
+			frame := r.frame
+			if inj != nil {
+				if inj.DropArrival() {
+					rep.LinkDropped++
+					tput.Lose()
+					d.avail.Offer(d.s.Now().Seconds())
+					return
+				}
+				if idx, corrupt := inj.CorruptArrival(len(frame)); corrupt {
+					rep.LinkCorrupted++
+					frame = append([]byte(nil), frame...)
+					frame[idx] ^= 0xff
+				}
+			}
+			pk := workload.Pkt{Frame: frame}
+			if err := scratch.Parse(frame); err == nil {
 				if ft, ok := scratch.FiveTuple(); ok {
 					pk.Flow = ft
 				}
 			}
 			d.dispatch(pk, &tput, lat, fair)
 		}); err != nil {
-			return Result{}, err
+			return Result{}, FaultReport{}, err
 		}
 	}
 	d.s.Run(horizon + 1)
 	tput.Stop(horizon)
-	return d.collect(&tput, lat, fair, horizon)
+	res, err := d.collect(&tput, lat, fair, horizon)
+	if err != nil {
+		return Result{}, FaultReport{}, err
+	}
+	if inj != nil {
+		rep.Windows = inj.Windows()
+		rep.Avail, err = d.avail.Summarize(measure.DefaultAvailabilityThreshold)
+		if err != nil {
+			return Result{}, FaultReport{}, fmt.Errorf("testbed: %s: availability: %w", d.cfg.Name, err)
+		}
+	}
+	return res, rep, nil
 }

@@ -2,8 +2,11 @@ package testbed
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
+	"fairbench/internal/fault"
+	"fairbench/internal/obs"
 	"fairbench/internal/workload"
 )
 
@@ -196,5 +199,108 @@ func TestRunTraceValidation(t *testing.T) {
 	d2, _ := BaselineFirewall(1)
 	if _, err := d2.RunTrace(tr2, 1); err == nil {
 		t.Error("empty trace should fail")
+	}
+}
+
+// tracedFaultRun executes one SmartNIC firewall run under the given
+// fault spec with tracing into buf.
+func tracedFaultRun(t *testing.T, seed uint64, specStr string, buf *bytes.Buffer) (Result, FaultReport) {
+	t.Helper()
+	d, err := SmartNICFirewall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := E6Workload(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := fault.ParseSpec(specStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New(buf)
+	d.Observe(tr, 0.002)
+	res, rep, err := d.RunWithFaults(g, workload.Poisson{}, 4e6, testDuration, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Err() != nil {
+		t.Fatalf("trace error: %v", tr.Err())
+	}
+	return res, rep
+}
+
+// TestFaultedRunDeterministicBytes is the reproducibility contract
+// under failure: the same workload seed and the same fault spec
+// (including its stochastic MTTF/MTTR schedule and per-packet link
+// loss) yield a byte-identical JSONL trace and identical measurements.
+func TestFaultedRunDeterministicBytes(t *testing.T) {
+	const spec = "outage:dev=smartnic,mttf=8ms,mttr=2ms;linkloss:prob=0.02;seed:7"
+	var a, b bytes.Buffer
+	resA, repA := tracedFaultRun(t, 42, spec, &a)
+	resB, repB := tracedFaultRun(t, 42, spec, &b)
+	if a.Len() == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed + same fault spec should yield a byte-identical trace")
+	}
+	if !reflect.DeepEqual(resA, resB) {
+		t.Errorf("results differ across identical faulted runs:\n%+v\n%+v", resA, resB)
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Errorf("fault reports differ across identical faulted runs:\n%+v\n%+v", repA, repB)
+	}
+	if !bytes.Contains(a.Bytes(), []byte(`"fault"`)) {
+		t.Error("trace records no fault spans")
+	}
+
+	// A different fault seed reshuffles the MTTF schedule and the link
+	// coin flips: the trace must change.
+	var c bytes.Buffer
+	tracedFaultRun(t, 42, "outage:dev=smartnic,mttf=8ms,mttr=2ms;linkloss:prob=0.02;seed:8", &c)
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different fault seeds should yield different traces")
+	}
+}
+
+// TestReplayWithFaultsDeterministic: trace replay under faults is as
+// reproducible as generated traffic.
+func TestReplayWithFaultsDeterministic(t *testing.T) {
+	var rec bytes.Buffer
+	if err := workload.Record(&rec, e6gen(t), workload.CBR{}, 1e6, 10000); err != nil {
+		t.Fatal(err)
+	}
+	raw := rec.Bytes()
+	spec, err := fault.ParseSpec("linkloss:prob=0.1;brownout:dev=cores,at=2ms,for=4ms,factor=0.5;seed:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (Result, FaultReport) {
+		tr, err := workload.NewTraceReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		d, err := BaselineFirewall(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, rep, err := d.RunTraceWithFaults(tr, 1, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rep
+	}
+	resA, repA := run()
+	resB, repB := run()
+	if !reflect.DeepEqual(resA, resB) || !reflect.DeepEqual(repA, repB) {
+		t.Error("faulted replay is not deterministic")
+	}
+	if repA.LinkDropped == 0 {
+		t.Error("replay saw no link drops")
+	}
+	if resA.LossFraction < 0.05 {
+		t.Errorf("loss = %v, want ≥ link-loss floor", resA.LossFraction)
 	}
 }

@@ -185,6 +185,38 @@ func E6Workload(seed uint64) (*workload.Generator, error) {
 	})
 }
 
+// FaultRegime names one operating regime of the fault sweep: a fault
+// spec (empty for the healthy regime) in the textual grammar, so the
+// same regime can be reproduced with `fairsim -faults`.
+type FaultRegime struct {
+	// Name labels the regime in reports ("healthy", "smartnic-outage").
+	Name string
+	// Spec is the fault specification, or "" for the healthy regime.
+	Spec string
+}
+
+// FaultSweepRegimes is the canonical degraded-regime catalogue for a
+// run of the given duration: the healthy reference plus one regime per
+// fault model, with windows positioned as fractions of the run so the
+// sweep scales with trial fidelity. Device targets absent from a
+// deployment no-op, so every regime applies to every compared system —
+// the point of the sweep is that both systems experience the *same*
+// environment. Times are rendered as plain seconds (the spec grammar
+// accepts both).
+func FaultSweepRegimes(durationSeconds float64) []FaultRegime {
+	d := durationSeconds
+	return []FaultRegime{
+		{Name: "healthy", Spec: ""},
+		{Name: "smartnic-outage",
+			Spec: fmt.Sprintf("outage:dev=smartnic,at=%g,for=%g", 0.25*d, 0.25*d)},
+		{Name: "core-brownout",
+			Spec: fmt.Sprintf("brownout:dev=cores,at=%g,for=%g,factor=0.5", 0.25*d, 0.5*d)},
+		{Name: "link-loss", Spec: "linkloss:prob=0.02"},
+		{Name: "burst-overload",
+			Spec: fmt.Sprintf("burst:factor=3,at=%g,for=%g", 0.25*d, 0.25*d)},
+	}
+}
+
 // E7Workload is the §4.2.1 mix: 75% of traffic is in-network-droppable
 // attack/scan traffic, which is what makes switch preprocessing pay.
 // Flow popularity is uniform so receive-side scaling balances the host

@@ -52,8 +52,9 @@ type Config struct {
 	Switch      *hw.SwitchConfig
 	SwitchRules []nf.Rule
 	// FPGA, when non-nil, runs the whole network function in an FPGA
-	// pipeline; host cores only see overflow... nothing (overflow is
-	// dropped), so Cores may be 0.
+	// pipeline. Packets the pipeline cannot take (ingress overflow, or
+	// an injected outage) spill to the host cores when Cores > 0;
+	// with Cores == 0 they are counted as loss in the measured window.
 	FPGA *hw.FPGAConfig
 
 	// NewNF builds a network-function instance for core i. Each core
@@ -105,6 +106,10 @@ type Deployment struct {
 	// the hot path free of tracing work.
 	tr          *obs.Tracer
 	sampleEvery float64
+
+	// avail is the optional per-window availability meter faulted runs
+	// attach; nil (the default) keeps the hot path free of bucketing.
+	avail *measure.AvailabilityMeter
 }
 
 // New assembles a deployment.
@@ -192,6 +197,9 @@ func (d *Deployment) SmartNIC() *hw.SmartNIC { return d.smartnic }
 
 // Switch exposes the switch model (nil if absent) for tests.
 func (d *Deployment) Switch() *hw.Switch { return d.sw }
+
+// FPGA exposes the FPGA model (nil if absent) for tests.
+func (d *Deployment) FPGA() *hw.FPGA { return d.fpga }
 
 // kernelTraceEvery throttles kernel progress events: one record per
 // this many executed simulation events keeps traces compact while still
@@ -337,15 +345,25 @@ func (d *Deployment) Run(gen *workload.Generator, arrival workload.Arrival, offe
 			tput.Offer(len(pk.Frame))
 			d.dispatch(pk, tput, lat, fair)
 			return nil
-		})
+		}, nil)
 }
 
 // injector produces and offers one packet per arrival event.
 type injector func(*measure.ThroughputMeter, *measure.LatencyMeter, *measure.FairnessMeter) error
 
+// runHooks customises runInjected for faulted runs.
+type runHooks struct {
+	// prep runs after observability is armed and before arrivals are
+	// scheduled — where the fault injector arms its event schedule.
+	prep func(horizon sim.Time) error
+	// rateFactor scales the offered rate at each arrival (burst
+	// overload); nil means a constant factor of 1.
+	rateFactor func() float64
+}
+
 // runInjected drives the arrival process, calling inject per arrival,
-// then drains and collects the measurement.
-func (d *Deployment) runInjected(arrival workload.Arrival, offeredPps, durationSeconds float64, arrRng *sim.RNG, inject injector) (Result, error) {
+// then drains and collects the measurement. hooks may be nil.
+func (d *Deployment) runInjected(arrival workload.Arrival, offeredPps, durationSeconds float64, arrRng *sim.RNG, inject injector, hooks *runHooks) (Result, error) {
 	var (
 		tput    measure.ThroughputMeter
 		lat     = measure.NewLatencyMeter()
@@ -355,6 +373,15 @@ func (d *Deployment) runInjected(arrival workload.Arrival, offeredPps, durationS
 	)
 	tput.Start(0)
 	d.armObs(horizon)
+	if hooks != nil && hooks.prep != nil {
+		if err := hooks.prep(horizon); err != nil {
+			return Result{}, err
+		}
+	}
+	rate := func() float64 { return offeredPps }
+	if hooks != nil && hooks.rateFactor != nil {
+		rate = func() float64 { return offeredPps * hooks.rateFactor() }
+	}
 
 	var schedule func(at sim.Time)
 	schedule = func(at sim.Time) {
@@ -367,12 +394,12 @@ func (d *Deployment) runInjected(arrival workload.Arrival, offeredPps, durationS
 				d.s.Halt()
 				return
 			}
-			schedule(at + sim.Time(arrival.NextGap(arrRng, offeredPps)))
+			schedule(at + sim.Time(arrival.NextGap(arrRng, rate())))
 		}); err != nil && injErr == nil {
 			injErr = err
 		}
 	}
-	schedule(sim.Time(arrival.NextGap(arrRng, offeredPps)))
+	schedule(sim.Time(arrival.NextGap(arrRng, rate())))
 
 	// Run past the horizon so in-flight packets drain (bounded by the
 	// largest plausible queueing delay).
@@ -422,19 +449,28 @@ func (d *Deployment) collect(tput *measure.ThroughputMeter, lat *measure.Latency
 
 // dispatch pushes one offered packet through the deployment's path.
 // When a tracer is attached, every packet gets a lifecycle span whose
-// stage durations sum to the latency the meters record.
+// stage durations sum to the latency the meters record. Offload devices
+// degrade gracefully: a downed switch fails open (the host firewall
+// still holds the full rule set), and FPGA overflow or outage spills to
+// the host cores when there are any — traffic is only lost when no
+// component can take it.
 func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter) {
 	size := len(pk.Frame)
+	arrived := d.s.Now().Seconds()
+	d.avail.Offer(arrived)
 	extraLatency := 0.0
 	sp := d.startSpan()
 
-	// Stage 1: programmable switch preprocessing at line rate.
-	if d.sw != nil {
+	// Stage 1: programmable switch preprocessing at line rate. A downed
+	// switch is bypassed (fail-open), leaving all classification to the
+	// host.
+	if d.sw != nil && !d.sw.Down() {
 		verdict, swLat := d.sw.Process(pk.Flow)
 		sp.Stage("switch", swLat)
 		if verdict == nf.Drop {
 			// Pre-dropped in-network: processed work, not forwarded.
 			tput.Process(size, false)
+			d.avail.Resolve(arrived, true)
 			_ = lat.RecordSeconds(swLat)
 			sp.End(d.sw.Name(), "drop")
 			return
@@ -442,12 +478,14 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 		extraLatency += swLat
 	}
 
-	// Stage 2: FPGA full offload.
+	// Stage 2: FPGA full offload; overflow and outage fail over to the
+	// host slow path when cores exist.
 	if d.fpga != nil {
 		verdict := d.functionalVerdict(pk)
 		if !d.fpga.Submit(func(so hw.Sojourn) {
 			forwarded := verdict != nf.Drop
 			tput.Process(size, forwarded)
+			d.avail.Resolve(arrived, true)
 			if forwarded {
 				fair.Record(pk.Flow, size)
 			}
@@ -455,17 +493,24 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 			spanSojourn(sp, so)
 			sp.End(d.fpga.Name(), verdictLabel(forwarded))
 		}) {
+			if len(d.cores) > 0 {
+				d.hostPath(pk, size, extraLatency, sp, tput, lat, fair)
+				return
+			}
 			tput.Lose()
+			d.avail.Resolve(arrived, false)
 			sp.End(d.fpga.Name(), "loss")
 		}
 		return
 	}
 
-	// Stage 3: SmartNIC fast path for established flows.
+	// Stage 3: SmartNIC fast path for established flows. Saturation,
+	// table misses and outages all punt to the host slow path.
 	if d.smartnic != nil {
 		flow := pk.Flow
 		if d.smartnic.Offload(flow, func(so hw.Sojourn) {
 			tput.Process(size, true)
+			d.avail.Resolve(arrived, true)
 			fair.Record(flow, size)
 			_ = lat.RecordSeconds(so.Total() + extraLatency)
 			spanSojourn(sp, so)
@@ -481,8 +526,10 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 
 // hostPath runs the NF on the packet's RSS core.
 func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, sp *obs.Span, tput *measure.ThroughputMeter, lat *measure.LatencyMeter, fair *measure.FairnessMeter) {
+	arrived := d.s.Now().Seconds()
 	if len(d.cores) == 0 {
 		tput.Lose()
+		d.avail.Resolve(arrived, false)
 		sp.End("host", "loss")
 		return
 	}
@@ -491,12 +538,14 @@ func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, s
 	parser := d.parsers[coreID]
 	if err := parser.Parse(pk.Frame); err != nil {
 		tput.Lose()
+		d.avail.Resolve(arrived, false)
 		sp.End(core.Name(), "loss")
 		return
 	}
 	res, err := d.nfs[coreID].Process(parser, pk.Frame)
 	if err != nil {
 		tput.Lose()
+		d.avail.Resolve(arrived, false)
 		sp.End(core.Name(), "loss")
 		return
 	}
@@ -504,6 +553,7 @@ func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, s
 	ok := core.Submit(res.Cycles, func(so hw.Sojourn) {
 		forwarded := res.Verdict != nf.Drop
 		tput.Process(size, forwarded)
+		d.avail.Resolve(arrived, true)
 		if forwarded {
 			fair.Record(flow, size)
 		}
@@ -517,6 +567,7 @@ func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, s
 	})
 	if !ok {
 		tput.Lose()
+		d.avail.Resolve(arrived, false)
 		sp.End(core.Name(), "loss")
 	}
 }
