@@ -1,25 +1,34 @@
 // Command fairfigs regenerates every table and figure of the paper —
 // Table 1, Figures 1-3, the three worked examples (§4.2, §4.2.1, §4.3),
-// the pitfall demonstrations, the RFC 2544 measurement suite, and the
-// §3.1 pricing-model release — into an output directory.
+// the pitfall demonstrations, the RFC 2544 measurement suite, the
+// replicated robust-verdict example, and the §3.1 pricing-model release
+// — into an output directory.
 //
 // Usage:
 //
 //	fairfigs [-out DIR] [-trial SECONDS] [-seed N] [-quick]
+//	         [-trials K] [-resume] [-exp-timeout DURATION]
 //
-// Outputs are deterministic for a given seed and trial length, so the
-// directory is diffable across runs and machines.
+// The sweep runs through a crash-safe runner: each experiment is
+// panic-isolated and deadline-bounded, artifacts are written atomically
+// (a killed run never leaves a truncated file), and a manifest
+// checkpoint in the output directory lets -resume skip experiments
+// whose artifacts are already intact. Outputs are deterministic for a
+// given seed, trial length and trial count, so the directory is
+// diffable across runs and machines.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"time"
 
 	"fairbench"
+	"fairbench/internal/measure"
+	"fairbench/internal/runner"
 )
 
 func main() {
@@ -35,32 +44,76 @@ func run(args []string, stdout io.Writer) error {
 	trial := fs.Float64("trial", 0.02, "simulated seconds per measurement trial")
 	seed := fs.Uint64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "reduced fidelity (shorter trials, coarser search)")
+	trials := fs.Int("trials", 1, "independently seeded replicate measurements per system")
+	resume := fs.Bool("resume", false, "skip experiments whose artifacts are already intact in -out")
+	expTimeout := fs.Duration("exp-timeout", 0, "per-experiment wall-clock deadline (0 = none)")
+	retries := fs.Int("retries", 1, "extra attempts (with a fresh seed) after a non-finite measurement")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *expTimeout < 0 {
+		return fmt.Errorf("-exp-timeout must be >= 0, got %v", *expTimeout)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	}
 
-	opts := fairbench.ExpOptions{TrialSeconds: *trial, Seed: *seed}
+	opts := fairbench.ExpOptions{TrialSeconds: *trial, Seed: *seed, Trials: *trials}
 	if *quick {
 		opts = fairbench.Quick()
 		opts.Seed = *seed
+		opts.Trials = *trials
+	}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+
+	// The fingerprint ties a manifest to the option set that produced
+	// its artifacts; -resume refuses to mix fingerprints.
+	fingerprint := fmt.Sprintf("v1 trial=%g seed=%d trials=%d quick=%t",
+		opts.TrialSeconds, opts.Seed, opts.Trials, *quick)
+
+	var exps []runner.Experiment
+	for _, spec := range fairbench.Experiments() {
+		spec := spec
+		exps = append(exps, runner.Experiment{
+			Name: spec.Name,
+			Run: func(attempt int) ([]runner.Artifact, error) {
+				o := opts
+				if attempt > 0 {
+					// A non-finite measurement poisoned the previous
+					// attempt: derive a fresh seed far from the
+					// per-trial seed sequence.
+					o.Seed = fairbench.TrialSeed(o.Seed, 1<<20+attempt)
+				}
+				arts, err := spec.Render(o)
+				if err != nil {
+					return nil, err
+				}
+				out := make([]runner.Artifact, len(arts))
+				for i, a := range arts {
+					out[i] = runner.Artifact{Name: a.Name, Body: a.Body}
+				}
+				return out, nil
+			},
+		})
 	}
 
 	start := time.Now()
-	artifacts, err := fairbench.RenderAll(opts)
+	res, err := runner.Run(exps, runner.Options{
+		OutDir:      *outDir,
+		Timeout:     *expTimeout,
+		Retries:     *retries,
+		ShouldRetry: func(err error) bool { return errors.Is(err, measure.ErrNonFinite) },
+		Resume:      *resume,
+		Fingerprint: fingerprint,
+		Log:         stdout,
+	})
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		return err
-	}
-	for _, a := range artifacts {
-		path := filepath.Join(*outDir, a.Name)
-		if err := os.WriteFile(path, a.Body, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "wrote %s (%d bytes)\n", path, len(a.Body))
-	}
-	fmt.Fprintf(stdout, "%d artifacts in %v\n", len(artifacts), time.Since(start).Round(time.Millisecond))
-	return nil
+	fmt.Fprintf(stdout, "%d artifacts in %v (%d experiments run, %d skipped)\n",
+		res.ArtifactsWritten, time.Since(start).Round(time.Millisecond), res.Ran, res.Skipped)
+	return res.Err()
 }

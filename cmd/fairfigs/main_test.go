@@ -6,9 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
-func TestRunQuickGeneratesAllArtifacts(t *testing.T) {
+func TestRunQuickGeneratesAllArtifactsAndResumes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full artifact regeneration is slow")
 	}
@@ -21,13 +22,15 @@ func TestRunQuickGeneratesAllArtifacts(t *testing.T) {
 		"table1.txt", "table1.md", "table1.csv", "scorecard.txt",
 		"figure1a.svg", "figure1b.svg", "figure1.txt",
 		"figure2.svg", "figure2.csv", "figure2.txt", "figure3.svg",
-		"example-smartnic.txt", "example-switch.txt", "example-latency.txt",
+		"example-smartnic.txt", "example-smartnic-robust.md",
+		"example-switch.txt", "example-latency.txt",
 		"pitfalls.txt", "rfc2544.txt", "rfc2544-loss.csv",
 		"rfc2544-latency.csv", "rfc2544-loss.svg", "rfc2544-latency.svg",
 		"burst.txt", "burst-latency.svg", "ablation-stateful.txt",
 		"operating-curves.txt", "operating-curves.csv",
 		"fault-sweep.txt", "fault-sweep.csv", "sensitivity.txt",
 		"frontier.txt", "frontier.svg", "pricing-release.json",
+		"manifest.json",
 	}
 	for _, name := range want {
 		path := filepath.Join(dir, name)
@@ -43,14 +46,76 @@ func TestRunQuickGeneratesAllArtifacts(t *testing.T) {
 	if !strings.Contains(out.String(), "artifacts in") {
 		t.Errorf("summary line missing:\n%s", out.String())
 	}
+	robust, err := os.ReadFile(filepath.Join(dir, "example-smartnic-robust.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"confidence", "resamples", "bootstrap CIs"} {
+		if !strings.Contains(string(robust), frag) {
+			t.Errorf("robust artifact missing %q", frag)
+		}
+	}
+
+	// Resume smoke: delete one artifact, re-run with -resume, and only
+	// the owning experiment regenerates — every other artifact keeps
+	// its mtime.
+	mtimes := map[string]time.Time{}
+	for _, name := range want {
+		if info, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			mtimes[name] = info.ModTime()
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, "pitfalls.txt")); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-out", dir, "-quick", "-resume"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "pitfalls.txt")); err != nil {
+		t.Errorf("deleted artifact not regenerated: %v", err)
+	}
+	for _, name := range want {
+		if name == "pitfalls.txt" || name == "manifest.json" {
+			continue
+		}
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("artifact %s lost on resume: %v", name, err)
+			continue
+		}
+		if !info.ModTime().Equal(mtimes[name]) {
+			t.Errorf("artifact %s was rewritten on resume", name)
+		}
+	}
+	if !strings.Contains(out.String(), "skip") {
+		t.Errorf("resume run should report skipped experiments:\n%s", out.String())
+	}
+
+	// Resuming under different options refuses to mix artifacts.
+	if err := run([]string{"-out", dir, "-quick", "-resume", "-seed", "2"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("fingerprint mismatch on resume: err = %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp-timeout", "-1s"}, &out); err == nil {
+		t.Error("negative -exp-timeout should fail")
+	}
+	if err := run([]string{"-trials", "-2"}, &out); err == nil {
+		t.Error("negative -trials should fail")
+	}
+	if err := run([]string{"-retries", "-1"}, &out); err == nil {
+		t.Error("negative -retries should fail")
+	}
 }
 
 func TestRunBadOutputDir(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs the full pipeline before failing on the directory")
-	}
 	var out bytes.Buffer
-	// A file path where a directory is required.
+	// A file path where a directory is required: fails before any
+	// experiment runs.
 	f := filepath.Join(t.TempDir(), "file")
 	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)

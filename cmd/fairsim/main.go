@@ -8,6 +8,7 @@
 //
 //	fairsim -system {host|smartnic|switch|fpga} [-cores N] [-pps RATE]
 //	        [-seconds S] [-attack FRAC] [-poisson] [-seed N] [-search]
+//	        [-trials K] [-ci LEVEL]
 //	        [-impair-drop P] [-impair-corrupt P] [-impair-dup P]
 //	        [-faults SPEC]
 //	        [-record FILE -count N] [-replay FILE -stretch X]
@@ -17,6 +18,13 @@
 // replaces the single fixed-rate run. The -impair-* flags inject
 // ingress faults; -record captures a trace and -replay runs one through
 // the deployment at its recorded (optionally stretched) timestamps.
+//
+// With -trials K (K >= 2), the fixed-rate run or the -search is
+// replicated over K independently seeded trials: the nominal
+// (median-throughput) result is printed alongside per-metric bootstrap
+// confidence intervals at level -ci (default 0.95). Replication applies
+// to generated traffic only, so -trials conflicts with -record,
+// -replay, -trace and -faults.
 //
 // With -faults, the run injects a deterministic fault schedule —
 // device outages with failover, brownout derating, link loss and
@@ -46,11 +54,13 @@ import (
 	"os"
 	"strings"
 
+	"fairbench"
 	"fairbench/internal/fault"
 	"fairbench/internal/hw"
 	"fairbench/internal/obs"
 	"fairbench/internal/report"
 	"fairbench/internal/rfc2544"
+	"fairbench/internal/stats"
 	"fairbench/internal/testbed"
 	"fairbench/internal/workload"
 )
@@ -73,6 +83,8 @@ func run(args []string, stdout io.Writer) error {
 	poisson := fs.Bool("poisson", false, "Poisson arrivals instead of constant rate")
 	seed := fs.Uint64("seed", 1, "random seed (determinism: same seed, same results)")
 	search := fs.Bool("search", false, "RFC 2544 throughput search instead of a fixed-rate run")
+	trials := fs.Int("trials", 1, "independently seeded replicate runs (>= 2 enables bootstrap CIs)")
+	ci := fs.Float64("ci", 0.95, "bootstrap confidence level for -trials >= 2, in (0, 1)")
 	dropProb := fs.Float64("impair-drop", 0, "ingress drop probability (failure injection)")
 	corruptProb := fs.Float64("impair-corrupt", 0, "ingress byte-corruption probability")
 	dupProb := fs.Float64("impair-dup", 0, "ingress duplication probability")
@@ -112,6 +124,37 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-sample-every must be positive, got %v", *sampleEvery)
 	}
 
+	// Replication applies to generated traffic: a replayed trace or a
+	// recorded one is a single fixed artifact, a trace file documents
+	// one run, and a fault schedule is defined against one timeline.
+	ciSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "ci" {
+			ciSet = true
+		}
+	})
+	if *trials < 1 {
+		return fmt.Errorf("-trials must be >= 1, got %d", *trials)
+	}
+	if err := stats.CheckLevel(*ci); err != nil {
+		return fmt.Errorf("-ci: %w", err)
+	}
+	if ciSet && *trials < 2 {
+		return fmt.Errorf("-ci requires -trials >= 2 (one trial has no distribution to bootstrap)")
+	}
+	if *trials > 1 {
+		switch {
+		case *record != "":
+			return fmt.Errorf("-trials and -record are mutually exclusive (a recorded trace is one trial)")
+		case *replay != "":
+			return fmt.Errorf("-trials and -replay are mutually exclusive (a replayed trace is one trial)")
+		case *trace != "":
+			return fmt.Errorf("-trials and -trace are mutually exclusive (a trace documents a single run)")
+		case *faults != "":
+			return fmt.Errorf("-trials and -faults are mutually exclusive (the fault schedule is defined against one run's timeline)")
+		}
+	}
+
 	// -faults drives a dedicated measured run: it composes with -trace
 	// and -replay but not with the other run modes or the legacy
 	// impairment flags (the fault spec subsumes them).
@@ -146,13 +189,14 @@ func run(args []string, stdout io.Writer) error {
 			return nil, fmt.Errorf("unknown system %q", *system)
 		}
 	}
-	mkGen := func() (*workload.Generator, error) {
+	mkGenSeeded := func(s uint64) (*workload.Generator, error) {
 		return workload.NewGenerator(workload.Spec{
 			Flows:          *flows,
 			AttackFraction: *attack,
-			Seed:           *seed,
+			Seed:           s,
 		})
 	}
+	mkGen := func() (*workload.Generator, error) { return mkGenSeeded(*seed) }
 
 	if *record != "" {
 		f, err := os.Create(*record)
@@ -247,14 +291,60 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *search {
-		res, err := rfc2544.Throughput(mkDeployment, mkGen, rfc2544.Opts{TrialSeconds: *seconds})
-		if err != nil {
-			return err
+		results := make([]testbed.Result, 0, *trials)
+		ppsSamples := make([]float64, 0, *trials)
+		for t := 0; t < *trials; t++ {
+			s := fairbench.TrialSeed(*seed, t)
+			res, err := rfc2544.Throughput(mkDeployment,
+				func() (*workload.Generator, error) { return mkGenSeeded(s) },
+				rfc2544.Opts{TrialSeconds: *seconds})
+			if err != nil {
+				return fmt.Errorf("trial %d (seed %d): %w", t, s, err)
+			}
+			if t == 0 {
+				fmt.Fprintf(stdout, "RFC 2544 zero-loss throughput: %.3f Mpps (%.2f Gb/s) over %d trials\n",
+					res.Pps/1e6, res.Gbps, len(res.Trials))
+				printResult(stdout, res.Passing)
+			}
+			results = append(results, res.Passing)
+			ppsSamples = append(ppsSamples, res.Pps)
 		}
-		fmt.Fprintf(stdout, "RFC 2544 zero-loss throughput: %.3f Mpps (%.2f Gb/s) over %d trials\n",
-			res.Pps/1e6, res.Gbps, len(res.Trials))
-		printResult(stdout, res.Passing)
+		if *trials > 1 {
+			if err := printReplication(stdout, results, ppsSamples, *ci, *seed); err != nil {
+				return err
+			}
+		}
 		return nil
+	}
+
+	var arrival workload.Arrival = workload.CBR{}
+	if *poisson {
+		arrival = workload.Poisson{}
+	}
+
+	if *trials > 1 {
+		im := testbed.Impairments{DropProb: *dropProb, CorruptProb: *corruptProb, DupProb: *dupProb}
+		results := make([]testbed.Result, 0, *trials)
+		for t := 0; t < *trials; t++ {
+			s := fairbench.TrialSeed(*seed, t)
+			d, err := mkDeployment()
+			if err != nil {
+				return err
+			}
+			g, err := mkGenSeeded(s)
+			if err != nil {
+				return err
+			}
+			res, _, err := d.RunWithImpairments(g, arrival, *pps, *seconds, im)
+			if err != nil {
+				return fmt.Errorf("trial %d (seed %d): %w", t, s, err)
+			}
+			if t == 0 {
+				printResult(stdout, res)
+			}
+			results = append(results, res)
+		}
+		return printReplication(stdout, results, nil, *ci, *seed)
 	}
 
 	d, err := mkDeployment()
@@ -268,10 +358,6 @@ func run(args []string, stdout io.Writer) error {
 	finish, err := attachTrace(d)
 	if err != nil {
 		return err
-	}
-	var arrival workload.Arrival = workload.CBR{}
-	if *poisson {
-		arrival = workload.Poisson{}
 	}
 	if *faults != "" {
 		res, rep, err := d.RunWithFaults(g, arrival, *pps, *seconds, faultSpec)
@@ -369,6 +455,55 @@ func printResult(w io.Writer, res testbed.Result) {
 		}
 		fmt.Fprint(w, "\n"+dt.Text())
 	}
+}
+
+// printReplication renders per-metric bootstrap confidence intervals
+// over replicated runs. The first result shown above it is the trial-0
+// (base seed) run; the table quantifies how much the remaining seeds
+// moved each metric. ppsSamples optionally carries the RFC 2544 search
+// rates (nil for fixed-rate runs). Deterministic in seed.
+func printReplication(w io.Writer, results []testbed.Result, ppsSamples []float64, level float64, seed uint64) error {
+	const resamples = 200
+	collect := func(get func(testbed.Result) float64) []float64 {
+		out := make([]float64, len(results))
+		for i, r := range results {
+			out[i] = get(r)
+		}
+		return out
+	}
+	rows := []struct {
+		name    string
+		samples []float64
+	}{
+		{"throughput (Gb/s)", collect(func(r testbed.Result) float64 { return r.Processed.GbPerSecond() })},
+		{"latency p50 (µs)", collect(func(r testbed.Result) float64 { return r.LatencyP50Us })},
+		{"latency p99 (µs)", collect(func(r testbed.Result) float64 { return r.LatencyP99Us })},
+		{"avg power (W)", collect(func(r testbed.Result) float64 { return r.AvgPowerWatts })},
+	}
+	if ppsSamples != nil {
+		mpps := make([]float64, len(ppsSamples))
+		for i, v := range ppsSamples {
+			mpps[i] = v / 1e6
+		}
+		rows = append([]struct {
+			name    string
+			samples []float64
+		}{{"zero-loss rate (Mpps)", mpps}}, rows...)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Replication over %d seeded trials (%.0f%% bootstrap CIs, %d resamples)",
+			len(results), level*100, resamples),
+		"Metric", "Median", "CI", "Half-width", "CV")
+	for i, row := range rows {
+		interval, err := stats.MedianCI(row.samples, resamples, level, stats.MixSeed(seed, uint64(i)+100))
+		if err != nil {
+			return err
+		}
+		t.AddRowf("%s|%.4f|%s|%.4f|%.4f",
+			row.name, stats.Median(row.samples), interval, interval.HalfWidth(), stats.CV(row.samples))
+	}
+	fmt.Fprint(w, "\n"+t.Text())
+	return nil
 }
 
 func sortedKeys(m map[string]float64) []string {

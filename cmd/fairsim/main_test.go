@@ -349,3 +349,62 @@ func TestFaultsFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestRunReplicatedFixedRate(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-system", "host", "-pps", "1e6", "-seconds", "0.003",
+		"-trials", "3", "-ci", "0.9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"Replication over 3 seeded trials", "90% bootstrap CIs",
+		"throughput (Gb/s)", "latency p99", "Half-width", "CV"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+	// Deterministic: same flags, same bytes.
+	var again bytes.Buffer
+	if err := run([]string{"-system", "host", "-pps", "1e6", "-seconds", "0.003",
+		"-trials", "3", "-ci", "0.9"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if got != again.String() {
+		t.Error("replicated run is not deterministic across invocations")
+	}
+}
+
+func TestRunReplicatedSearch(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-search", "-seconds", "0.003", "-trials", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"RFC 2544 zero-loss throughput", "zero-loss rate (Mpps)",
+		"Replication over 2 seeded trials"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestTrialsFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-trials", "0"},
+		{"-trials", "2", "-record", "x.trace"},
+		{"-trials", "2", "-replay", "x.trace"},
+		{"-trials", "2", "-trace", "x.jsonl"},
+		{"-trials", "2", "-faults", "linkloss:prob=0.01"},
+		{"-ci", "0.9"},                 // -ci without replication
+		{"-trials", "2", "-ci", "1.5"}, // level outside (0, 1)
+		{"-trials", "2", "-ci", "0"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("%v should be rejected", args)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package fairbench
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	"fairbench/internal/core"
 	"fairbench/internal/hw"
@@ -10,6 +13,7 @@ import (
 	"fairbench/internal/nf"
 	"fairbench/internal/report"
 	"fairbench/internal/rfc2544"
+	"fairbench/internal/stats"
 	"fairbench/internal/testbed"
 	"fairbench/internal/workload"
 )
@@ -19,25 +23,57 @@ import (
 // index lives in DESIGN.md). Each runner returns structured results;
 // the fairfigs command and bench_test.go render and time them.
 
+// ErrBadTrials is the typed error for a negative trial count.
+var ErrBadTrials = errors.New("fairbench: Trials must be >= 0 (0 means the default of one trial)")
+
+// ErrBadCI is the typed error for a confidence level that is
+// non-finite or outside (0, 1).
+var ErrBadCI = errors.New("fairbench: CI level must be finite and in (0, 1)")
+
 // ExpOptions tunes experiment fidelity. The defaults favour accuracy;
 // Quick() is used by unit tests and iterative development.
 type ExpOptions struct {
 	// TrialSeconds is the simulated time per measurement trial.
 	TrialSeconds float64
-	// Seed drives all generators.
+	// Seed drives all generators. Trial k of a replicated run uses a
+	// seed derived from Seed via SplitMix mixing (see TrialSeed), so
+	// trials never alias across base seeds the way additive seed+k
+	// schemes do.
 	Seed uint64
 	// SearchResolution is the RFC 2544 bracket width.
 	SearchResolution float64
+	// Trials is the number of independently seeded replicate
+	// measurements per system (0 or 1 = single trial, the historical
+	// behaviour). With Trials >= 2 the experiment drivers return
+	// replicated systems and verdicts carry bootstrap confidence.
+	Trials int
+	// CI is the confidence level for bootstrap intervals
+	// (default 0.95).
+	CI float64
 }
 
 // DefaultExpOptions returns the standard fidelity (20 ms trials).
 func DefaultExpOptions() ExpOptions {
-	return ExpOptions{TrialSeconds: 0.02, Seed: 1, SearchResolution: 0.02}
+	return ExpOptions{TrialSeconds: 0.02, Seed: 1, SearchResolution: 0.02, Trials: 1, CI: 0.95}
 }
 
 // Quick returns reduced-fidelity options for fast tests.
 func Quick() ExpOptions {
-	return ExpOptions{TrialSeconds: 0.008, Seed: 1, SearchResolution: 0.05}
+	return ExpOptions{TrialSeconds: 0.008, Seed: 1, SearchResolution: 0.05, Trials: 1, CI: 0.95}
+}
+
+// Validate rejects structurally invalid options with typed errors
+// before any simulation runs.
+func (o ExpOptions) Validate() error {
+	if o.Trials < 0 {
+		return fmt.Errorf("%w: got %d", ErrBadTrials, o.Trials)
+	}
+	if o.CI != 0 {
+		if math.IsNaN(o.CI) || math.IsInf(o.CI, 0) || o.CI <= 0 || o.CI >= 1 {
+			return fmt.Errorf("%w: got %v", ErrBadCI, o.CI)
+		}
+	}
+	return nil
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -51,7 +87,31 @@ func (o ExpOptions) withDefaults() ExpOptions {
 	if o.SearchResolution == 0 {
 		o.SearchResolution = d.SearchResolution
 	}
+	if o.Trials == 0 {
+		o.Trials = d.Trials
+	}
+	if o.CI == 0 {
+		o.CI = d.CI
+	}
 	return o
+}
+
+// TrialSeed derives the workload seed for replicate trial k. Trial 0
+// uses the base seed unchanged, preserving single-trial determinism
+// with historical artifacts; later trials use SplitMix-style mixing so
+// (seed, trial) pairs never alias the way additive seed+k derivation
+// does (seed 1 trial 2 vs seed 2 trial 1).
+func TrialSeed(base uint64, k int) uint64 {
+	if k == 0 {
+		return base
+	}
+	return stats.MixSeed(base, uint64(k))
+}
+
+// robustOptions maps experiment options onto the core bootstrap
+// configuration.
+func (o ExpOptions) robustOptions() core.RobustOptions {
+	return core.RobustOptions{Level: o.CI, Seed: o.Seed}
 }
 
 func (o ExpOptions) searchOpts(maxPps float64) rfc2544.Opts {
@@ -100,9 +160,78 @@ func (m MeasuredSystem) CheckFinite() error {
 	return nil
 }
 
-// measureThroughput runs an RFC 2544 search against a deployment
-// factory and packages the result.
-func measureThroughput(name string, dut rfc2544.DUTFactory, gen rfc2544.GenFactory, o ExpOptions, maxPps float64) (MeasuredSystem, error) {
+// ReplicatedSystem is one system measured over K independently seeded
+// trials. The embedded MeasuredSystem is the nominal measurement — the
+// median-throughput trial — so single-valued consumers keep working;
+// the per-trial samples feed the bootstrap verdict machinery.
+type ReplicatedSystem struct {
+	MeasuredSystem
+	// Trials holds every replicate, in trial order.
+	Trials []MeasuredSystem
+	// Seeds holds the derived per-trial workload seeds.
+	Seeds []uint64
+}
+
+// replicated wraps trials into a ReplicatedSystem, picking the
+// median-throughput trial as nominal (deterministic: stable sort by
+// throughput, lower-middle element).
+func replicated(trials []MeasuredSystem, seeds []uint64) ReplicatedSystem {
+	byTp := make([]int, len(trials))
+	for i := range byTp {
+		byTp[i] = i
+	}
+	sort.SliceStable(byTp, func(a, b int) bool {
+		return trials[byTp[a]].ThroughputGbps < trials[byTp[b]].ThroughputGbps
+	})
+	nominal := trials[byTp[(len(trials)-1)/2]]
+	return ReplicatedSystem{MeasuredSystem: nominal, Trials: trials, Seeds: seeds}
+}
+
+// ThroughputSamples returns the per-trial throughput values (Gb/s).
+func (r ReplicatedSystem) ThroughputSamples() []float64 {
+	out := make([]float64, len(r.Trials))
+	for i, t := range r.Trials {
+		out[i] = t.ThroughputGbps
+	}
+	return out
+}
+
+// PowerSamples returns the per-trial provisioned power values (W).
+func (r ReplicatedSystem) PowerSamples() []float64 {
+	out := make([]float64, len(r.Trials))
+	for i, t := range r.Trials {
+		out[i] = t.PowerWatts
+	}
+	return out
+}
+
+// LatencyP99Samples returns the per-trial p99 latency values (µs).
+func (r ReplicatedSystem) LatencyP99Samples() []float64 {
+	out := make([]float64, len(r.Trials))
+	for i, t := range r.Trials {
+		out[i] = t.LatencyP99Us
+	}
+	return out
+}
+
+// ThroughputPowerSamples packages the trials for the throughput/power
+// plane's replicated evaluation.
+func (r ReplicatedSystem) ThroughputPowerSamples() core.PointSamples {
+	return core.PointSamples{Perf: r.ThroughputSamples(), Cost: r.PowerSamples()}
+}
+
+// LatencyPowerSamples packages the trials for the latency/power plane.
+func (r ReplicatedSystem) LatencyPowerSamples() core.PointSamples {
+	return core.PointSamples{Perf: r.LatencyP99Samples(), Cost: r.PowerSamples()}
+}
+
+// seededGen builds a workload generator from an explicit seed, letting
+// replicated measurements derive one generator per trial.
+type seededGen func(seed uint64) (*workload.Generator, error)
+
+// measureOnce runs one RFC 2544 search against a deployment factory
+// and packages the result.
+func measureOnce(name string, dut rfc2544.DUTFactory, gen rfc2544.GenFactory, o ExpOptions, maxPps float64) (MeasuredSystem, error) {
 	res, err := rfc2544.Throughput(dut, gen, o.searchOpts(maxPps))
 	if err != nil {
 		return MeasuredSystem{}, fmt.Errorf("measuring %s: %w", name, err)
@@ -122,6 +251,29 @@ func measureThroughput(name string, dut rfc2544.DUTFactory, gen rfc2544.GenFacto
 		return MeasuredSystem{}, fmt.Errorf("measuring %s: %w", name, err)
 	}
 	return m, nil
+}
+
+// measureThroughput measures a system over o.Trials independently
+// seeded RFC 2544 searches and returns the replicated result. With a
+// single trial this reduces exactly to the historical behaviour.
+func measureThroughput(name string, dut rfc2544.DUTFactory, gen seededGen, o ExpOptions, maxPps float64) (ReplicatedSystem, error) {
+	k := o.Trials
+	if k < 1 {
+		k = 1
+	}
+	trials := make([]MeasuredSystem, 0, k)
+	seeds := make([]uint64, 0, k)
+	for t := 0; t < k; t++ {
+		seed := TrialSeed(o.Seed, t)
+		m, err := measureOnce(name, dut,
+			func() (*workload.Generator, error) { return gen(seed) }, o, maxPps)
+		if err != nil {
+			return ReplicatedSystem{}, fmt.Errorf("trial %d (seed %d): %w", t, seed, err)
+		}
+		trials = append(trials, m)
+		seeds = append(seeds, seed)
+	}
+	return replicated(trials, seeds), nil
 }
 
 // --- E1 / E10: Table 1 and the §3.4 scorecard -----------------------
@@ -178,12 +330,12 @@ func ScorecardReport(res Table1Result) *report.Table {
 type Figure1Result struct {
 	// SameCost (Fig. 1a): one core, linear-matcher firewall ("old") vs
 	// tuple-space firewall ("new") — equal cost, higher performance.
-	OldSameCost, NewSameCost MeasuredSystem
+	OldSameCost, NewSameCost ReplicatedSystem
 	VerdictSameCost          Verdict
 	// SamePerf (Fig. 1b): the performance target and the two core
 	// counts that reach it — equal performance, lower cost.
 	TargetGbps               float64
-	OldSamePerf, NewSamePerf MeasuredSystem
+	OldSamePerf, NewSamePerf ReplicatedSystem
 	VerdictSamePerf          Verdict
 }
 
@@ -239,9 +391,12 @@ func expandRanges(rules []nf.Rule) []nf.Rule {
 
 // RunFigure1 produces both panels of Figure 1 from measured systems.
 func RunFigure1(o ExpOptions) (Figure1Result, error) {
-	o = o.withDefaults()
-	gen := func() (*workload.Generator, error) { return testbed.E6Workload(o.Seed) }
 	var res Figure1Result
+	if err := o.Validate(); err != nil {
+		return res, err
+	}
+	o = o.withDefaults()
+	gen := seededGen(testbed.E6Workload)
 	var err error
 
 	// Fig. 1a: same cost (one core each), different matcher.
@@ -286,7 +441,7 @@ func RunFigure1(o ExpOptions) (Figure1Result, error) {
 	}
 	// Evaluate at the shared performance target: both systems pinned to
 	// the target rate, differing in cost.
-	pinned := func(m MeasuredSystem) System {
+	pinned := func(m ReplicatedSystem) System {
 		return SystemPoint{Name: m.Name, Gbps: res.TargetGbps, Watts: m.PowerWatts, Scalable: true}.throughputSystem()
 	}
 	res.VerdictSamePerf, err = e.Evaluate(pinned(res.NewSamePerf), pinned(res.OldSamePerf))
@@ -297,7 +452,7 @@ func RunFigure1(o ExpOptions) (Figure1Result, error) {
 
 // Figure2Result is the classification sweep around a measured reference.
 type Figure2Result struct {
-	Reference MeasuredSystem
+	Reference ReplicatedSystem
 	// Grid holds candidate points and their region classes.
 	Grid []Figure2Cell
 }
@@ -312,8 +467,11 @@ type Figure2Cell struct {
 // and classifies a grid of hypothetical baselines against its
 // comparison region.
 func RunFigure2(o ExpOptions) (Figure2Result, error) {
+	if err := o.Validate(); err != nil {
+		return Figure2Result{}, err
+	}
 	o = o.withDefaults()
-	gen := func() (*workload.Generator, error) { return testbed.E6Workload(o.Seed) }
+	gen := seededGen(testbed.E6Workload)
 	ref, err := measureThroughput("fw-smartnic",
 		func() (*testbed.Deployment, error) { return testbed.SmartNICFirewall() }, gen, o, 24e6)
 	if err != nil {
@@ -346,16 +504,22 @@ func RunFigure2(o ExpOptions) (Figure2Result, error) {
 // firewall vs the host baseline, with the baseline ideally scaled into
 // the proposed system's comparison region.
 type SwitchScalingResult struct {
-	Proposed MeasuredSystem // switch + host
-	Baseline MeasuredSystem // host only
+	Proposed ReplicatedSystem // switch + host
+	Baseline ReplicatedSystem // host only
 	Verdict  Verdict
+	// Robust carries the bootstrap-confidence verdict when the run was
+	// replicated (Trials >= 2), else nil.
+	Robust *core.RobustVerdict
 }
 
 // RunSwitchScaling measures both systems and applies Principles 5-6.
 func RunSwitchScaling(o ExpOptions) (SwitchScalingResult, error) {
-	o = o.withDefaults()
-	gen := func() (*workload.Generator, error) { return testbed.E7Workload(o.Seed) }
 	var res SwitchScalingResult
+	if err := o.Validate(); err != nil {
+		return res, err
+	}
+	o = o.withDefaults()
+	gen := seededGen(testbed.E7Workload)
 	var err error
 	res.Proposed, err = measureThroughput("fw-switch",
 		func() (*testbed.Deployment, error) { return testbed.SwitchFirewall(3) }, gen, o, 48e6)
@@ -374,7 +538,22 @@ func RunSwitchScaling(o ExpOptions) (SwitchScalingResult, error) {
 	res.Verdict, err = e.Evaluate(
 		res.Proposed.ThroughputPowerSystem(true),
 		res.Baseline.ThroughputPowerSystem(true))
-	return res, err
+	if err != nil {
+		return res, err
+	}
+	if o.Trials >= 2 {
+		rv, err := e.EvaluateReplicated(
+			res.Proposed.ThroughputPowerSystem(true),
+			res.Baseline.ThroughputPowerSystem(true),
+			res.Proposed.ThroughputPowerSamples(),
+			res.Baseline.ThroughputPowerSamples(),
+			o.robustOptions())
+		if err != nil {
+			return res, err
+		}
+		res.Robust = &rv
+	}
+	return res, nil
 }
 
 // --- E6: the SmartNIC firewall example -------------------------------
@@ -383,22 +562,28 @@ func RunSwitchScaling(o ExpOptions) (SwitchScalingResult, error) {
 // SmartNIC-accelerated system, and the baseline measured at two cores
 // (the paper's "give the baseline more CPU cores" scaling).
 type SmartNICResult struct {
-	Baseline1 MeasuredSystem
-	Baseline2 MeasuredSystem
-	Proposed  MeasuredSystem
+	Baseline1 ReplicatedSystem
+	Baseline2 ReplicatedSystem
+	Proposed  ReplicatedSystem
 	// VerdictVs1 evaluates proposed vs the 1-core baseline (different
 	// regimes → ideal scaling applies).
 	VerdictVs1 Verdict
 	// VerdictVs2 evaluates proposed vs the measured 2-core baseline
 	// (the paper's in-region comparison).
 	VerdictVs2 Verdict
+	// RobustVs2 is the bootstrap-confidence version of VerdictVs2,
+	// populated when the run was replicated (Trials >= 2), else nil.
+	RobustVs2 *core.RobustVerdict
 }
 
 // RunSmartNIC measures the three systems and applies the methodology.
 func RunSmartNIC(o ExpOptions) (SmartNICResult, error) {
-	o = o.withDefaults()
-	gen := func() (*workload.Generator, error) { return testbed.E6Workload(o.Seed) }
 	var res SmartNICResult
+	if err := o.Validate(); err != nil {
+		return res, err
+	}
+	o = o.withDefaults()
+	gen := seededGen(testbed.E6Workload)
 	var err error
 	res.Baseline1, err = measureThroughput("fw-host-1core",
 		func() (*testbed.Deployment, error) { return testbed.BaselineFirewall(1) }, gen, o, 16e6)
@@ -427,7 +612,22 @@ func RunSmartNIC(o ExpOptions) (SmartNICResult, error) {
 	res.VerdictVs2, err = e.Evaluate(
 		res.Proposed.ThroughputPowerSystem(true),
 		res.Baseline2.ThroughputPowerSystem(true))
-	return res, err
+	if err != nil {
+		return res, err
+	}
+	if o.Trials >= 2 {
+		rv, err := e.EvaluateReplicated(
+			res.Proposed.ThroughputPowerSystem(true),
+			res.Baseline2.ThroughputPowerSystem(true),
+			res.Proposed.ThroughputPowerSamples(),
+			res.Baseline2.ThroughputPowerSamples(),
+			o.robustOptions())
+		if err != nil {
+			return res, err
+		}
+		res.RobustVs2 = &rv
+	}
+	return res, nil
 }
 
 // --- E8: non-scalable latency example --------------------------------
@@ -437,13 +637,13 @@ func RunSmartNIC(o ExpOptions) (SmartNICResult, error) {
 // the incomparable pair does not.
 type LatencyResult struct {
 	// FPGASystem is the low-latency accelerated deployment.
-	FPGASystem MeasuredSystem
+	FPGASystem ReplicatedSystem
 	// BigHost is a many-core host at high load: worse latency, more
 	// power — in the FPGA system's comparison region.
-	BigHost MeasuredSystem
+	BigHost ReplicatedSystem
 	// SmallHost is a one-core host: worse latency but cheaper —
 	// incomparable with the FPGA system.
-	SmallHost MeasuredSystem
+	SmallHost ReplicatedSystem
 	// VerdictComparable evaluates FPGA vs BigHost (expected: superior).
 	VerdictComparable Verdict
 	// VerdictIncomparable evaluates FPGA vs SmallHost (expected:
@@ -460,15 +660,18 @@ func latencySystem(m MeasuredSystem) System {
 // RunLatency measures the three deployments at a fixed offered load and
 // evaluates the two §4.3 scenarios.
 func RunLatency(o ExpOptions) (LatencyResult, error) {
-	o = o.withDefaults()
 	var res LatencyResult
+	if err := o.Validate(); err != nil {
+		return res, err
+	}
+	o = o.withDefaults()
 
-	measureAt := func(name string, mk func() (*testbed.Deployment, error), pps float64) (MeasuredSystem, error) {
+	measureOnceAt := func(name string, mk func() (*testbed.Deployment, error), pps float64, seed uint64) (MeasuredSystem, error) {
 		d, err := mk()
 		if err != nil {
 			return MeasuredSystem{}, err
 		}
-		g, err := testbed.E6Workload(o.Seed)
+		g, err := testbed.E6Workload(seed)
 		if err != nil {
 			return MeasuredSystem{}, err
 		}
@@ -484,6 +687,24 @@ func RunLatency(o ExpOptions) (LatencyResult, error) {
 			LatencyP50Us:   r.LatencyP50Us,
 			LatencyP99Us:   r.LatencyP99Us,
 		}, nil
+	}
+	measureAt := func(name string, mk func() (*testbed.Deployment, error), pps float64) (ReplicatedSystem, error) {
+		k := o.Trials
+		if k < 1 {
+			k = 1
+		}
+		trials := make([]MeasuredSystem, 0, k)
+		seeds := make([]uint64, 0, k)
+		for t := 0; t < k; t++ {
+			seed := TrialSeed(o.Seed, t)
+			m, err := measureOnceAt(name, mk, pps, seed)
+			if err != nil {
+				return ReplicatedSystem{}, fmt.Errorf("trial %d (seed %d): %w", t, seed, err)
+			}
+			trials = append(trials, m)
+			seeds = append(seeds, seed)
+		}
+		return replicated(trials, seeds), nil
 	}
 
 	var err error
@@ -510,10 +731,10 @@ func RunLatency(o ExpOptions) (LatencyResult, error) {
 	if err != nil {
 		return res, err
 	}
-	if res.VerdictComparable, err = e.Evaluate(latencySystem(res.FPGASystem), latencySystem(res.BigHost)); err != nil {
+	if res.VerdictComparable, err = e.Evaluate(latencySystem(res.FPGASystem.MeasuredSystem), latencySystem(res.BigHost.MeasuredSystem)); err != nil {
 		return res, err
 	}
-	res.VerdictIncomparable, err = e.Evaluate(latencySystem(res.FPGASystem), latencySystem(res.SmallHost))
+	res.VerdictIncomparable, err = e.Evaluate(latencySystem(res.FPGASystem.MeasuredSystem), latencySystem(res.SmallHost.MeasuredSystem))
 	return res, err
 }
 

@@ -2,12 +2,14 @@ package fairbench
 
 import (
 	"fmt"
+	"sort"
 
 	"fairbench/internal/core"
 	"fairbench/internal/fault"
 	"fairbench/internal/measure"
 	"fairbench/internal/metric"
 	"fairbench/internal/report"
+	"fairbench/internal/stats"
 	"fairbench/internal/testbed"
 	"fairbench/internal/workload"
 )
@@ -41,9 +43,18 @@ type FaultedMeasurement struct {
 }
 
 // FaultSweepRow pairs the two systems' measurements under one regime.
+// Proposed and Baseline are the nominal (median-goodput) trials; the
+// trial slices and availability CIs are populated when the sweep was
+// replicated (Trials >= 2).
 type FaultSweepRow struct {
 	Regime             testbed.FaultRegime
 	Proposed, Baseline FaultedMeasurement
+	// Per-trial replicates, in trial order (single-element when
+	// unreplicated).
+	ProposedTrials, BaselineTrials []FaultedMeasurement
+	// Bootstrap confidence intervals of the availability medians
+	// (zero-valued when unreplicated).
+	ProposedAvailCI, BaselineAvailCI stats.Interval
 }
 
 // FaultSweepResult is the full sweep plus the cross-regime comparison.
@@ -51,15 +62,21 @@ type FaultSweepResult struct {
 	OfferedPps float64
 	Rows       []FaultSweepRow
 	Comparison core.DegradedComparison
+	// Robust attaches per-regime relation agreement under bootstrap
+	// resampling when the sweep was replicated (Trials >= 2), else nil.
+	Robust *core.RobustDegradedComparison
 }
 
-// runFaulted measures one deployment under one fault spec.
-func runFaulted(mk func() (*testbed.Deployment, error), o ExpOptions, spec fault.Spec) (FaultedMeasurement, error) {
+// runFaulted measures one deployment under one fault spec with the
+// workload seeded for one trial. The fault schedule itself is part of
+// the regime, so it does not vary across trials — only the traffic
+// does.
+func runFaulted(mk func() (*testbed.Deployment, error), o ExpOptions, spec fault.Spec, seed uint64) (FaultedMeasurement, error) {
 	d, err := mk()
 	if err != nil {
 		return FaultedMeasurement{}, err
 	}
-	g, err := testbed.E6Workload(o.Seed)
+	g, err := testbed.E6Workload(seed)
 	if err != nil {
 		return FaultedMeasurement{}, err
 	}
@@ -88,13 +105,64 @@ func runFaulted(mk func() (*testbed.Deployment, error), o ExpOptions, spec fault
 	return m, nil
 }
 
+// runFaultedTrials replicates runFaulted over o.Trials seeded trials
+// and returns the replicates in trial order.
+func runFaultedTrials(mk func() (*testbed.Deployment, error), o ExpOptions, spec fault.Spec) ([]FaultedMeasurement, error) {
+	k := o.Trials
+	if k < 1 {
+		k = 1
+	}
+	trials := make([]FaultedMeasurement, 0, k)
+	for t := 0; t < k; t++ {
+		seed := TrialSeed(o.Seed, t)
+		m, err := runFaulted(mk, o, spec, seed)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d (seed %d): %w", t, seed, err)
+		}
+		trials = append(trials, m)
+	}
+	return trials, nil
+}
+
+// nominalFaulted picks the median-goodput trial (stable sort,
+// lower-middle element — the same rule replicated systems use).
+func nominalFaulted(trials []FaultedMeasurement) FaultedMeasurement {
+	idx := make([]int, len(trials))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return trials[idx[a]].GoodputGbps < trials[idx[b]].GoodputGbps
+	})
+	return trials[idx[(len(trials)-1)/2]]
+}
+
+// faultedSamples extracts paired (goodput, power) samples for the
+// bootstrap, plus the availability samples.
+func faultedSamples(trials []FaultedMeasurement) (pt core.PointSamples, avail []float64) {
+	for _, m := range trials {
+		pt.Perf = append(pt.Perf, m.GoodputGbps)
+		pt.Cost = append(pt.Cost, m.PowerWatts)
+		avail = append(avail, m.Availability)
+	}
+	return pt, avail
+}
+
 // RunFaultSweep measures both systems under every catalogue regime and
-// compares them per regime (first regime = healthy reference).
+// compares them per regime (first regime = healthy reference). With
+// Trials >= 2 each (system, regime) cell is replicated over
+// independently seeded trials, availability medians carry bootstrap
+// CIs, and the cross-regime comparison carries per-regime relation
+// agreement.
 func RunFaultSweep(o ExpOptions) (FaultSweepResult, error) {
-	o = o.withDefaults()
 	out := FaultSweepResult{OfferedPps: faultSweepOfferedPps}
+	if err := o.Validate(); err != nil {
+		return out, err
+	}
+	o = o.withDefaults()
 	var pts []core.RegimePoint
-	for _, regime := range testbed.FaultSweepRegimes(o.TrialSeconds) {
+	var rpts []core.ReplicatedRegimePoint
+	for i, regime := range testbed.FaultSweepRegimes(o.TrialSeconds) {
 		spec := fault.Spec{}
 		if regime.Spec != "" {
 			var err error
@@ -103,25 +171,57 @@ func RunFaultSweep(o ExpOptions) (FaultSweepResult, error) {
 				return out, fmt.Errorf("fault sweep: regime %s: %w", regime.Name, err)
 			}
 		}
-		prop, err := runFaulted(func() (*testbed.Deployment, error) { return testbed.SmartNICFirewall() }, o, spec)
+		propTrials, err := runFaultedTrials(func() (*testbed.Deployment, error) { return testbed.SmartNICFirewall() }, o, spec)
 		if err != nil {
 			return out, fmt.Errorf("fault sweep: regime %s: %w", regime.Name, err)
 		}
-		base, err := runFaulted(func() (*testbed.Deployment, error) { return testbed.BaselineFirewall(2) }, o, spec)
+		baseTrials, err := runFaultedTrials(func() (*testbed.Deployment, error) { return testbed.BaselineFirewall(2) }, o, spec)
 		if err != nil {
 			return out, fmt.Errorf("fault sweep: regime %s: %w", regime.Name, err)
 		}
-		out.Rows = append(out.Rows, FaultSweepRow{Regime: regime, Proposed: prop, Baseline: base})
-		pts = append(pts, core.RegimePoint{
+		row := FaultSweepRow{
+			Regime:         regime,
+			Proposed:       nominalFaulted(propTrials),
+			Baseline:       nominalFaulted(baseTrials),
+			ProposedTrials: propTrials,
+			BaselineTrials: baseTrials,
+		}
+		propPt, propAvail := faultedSamples(propTrials)
+		basePt, baseAvail := faultedSamples(baseTrials)
+		if o.Trials >= 2 {
+			// Independent resampling streams per (regime, system).
+			if row.ProposedAvailCI, err = stats.MedianCI(propAvail, 200, o.CI, stats.MixSeed(o.Seed, uint64(2*i)+50)); err != nil {
+				return out, fmt.Errorf("fault sweep: regime %s: %w", regime.Name, err)
+			}
+			if row.BaselineAvailCI, err = stats.MedianCI(baseAvail, 200, o.CI, stats.MixSeed(o.Seed, uint64(2*i)+51)); err != nil {
+				return out, fmt.Errorf("fault sweep: regime %s: %w", regime.Name, err)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+		pt := core.RegimePoint{
 			Regime:   regime.Name,
-			Proposed: core.Pt(metric.Q(prop.GoodputGbps, metric.GigabitPerSecond), metric.Q(prop.PowerWatts, metric.Watt)),
-			Baseline: core.Pt(metric.Q(base.GoodputGbps, metric.GigabitPerSecond), metric.Q(base.PowerWatts, metric.Watt)),
+			Proposed: core.Pt(metric.Q(row.Proposed.GoodputGbps, metric.GigabitPerSecond), metric.Q(row.Proposed.PowerWatts, metric.Watt)),
+			Baseline: core.Pt(metric.Q(row.Baseline.GoodputGbps, metric.GigabitPerSecond), metric.Q(row.Baseline.PowerWatts, metric.Watt)),
+		}
+		pts = append(pts, pt)
+		rpts = append(rpts, core.ReplicatedRegimePoint{
+			RegimePoint:     pt,
+			ProposedSamples: propPt,
+			BaselineSamples: basePt,
 		})
 	}
 	var err error
 	out.Comparison, err = core.CompareUnderRegimes(core.DefaultPlane(), pts, core.DefaultTolerance)
 	if err != nil {
 		return out, fmt.Errorf("fault sweep: %w", err)
+	}
+	if o.Trials >= 2 {
+		robust, err := core.CompareUnderRegimesReplicated(core.DefaultPlane(), rpts, core.DefaultTolerance,
+			core.RobustOptions{Level: o.CI, Seed: o.Seed})
+		if err != nil {
+			return out, fmt.Errorf("fault sweep: %w", err)
+		}
+		out.Robust = &robust
 	}
 	return out, nil
 }
@@ -140,15 +240,30 @@ func FaultSweepReport(r FaultSweepResult) string {
 		}
 	}
 	vt := report.NewTable("Per-regime verdicts (reference: "+r.Comparison.Verdicts[0].Regime+")",
-		"Regime", "Relation", "Region class", "Fault spec")
+		"Regime", "Relation", "Region class", "Agreement", "Fault spec")
 	for i, v := range r.Comparison.Verdicts {
-		t := r.Rows[i].Regime.Spec
-		if t == "" {
-			t = "(none)"
+		spec := r.Rows[i].Regime.Spec
+		if spec == "" {
+			spec = "(none)"
 		}
-		vt.AddRowf("%s|proposed %s baseline|%s|%s", v.Regime, v.Relation, v.Class, t)
+		agreement := "-"
+		if r.Robust != nil && i < len(r.Robust.Confidence) {
+			agreement = fmt.Sprintf("%.0f%%", r.Robust.Confidence[i].Agreement*100)
+		}
+		vt.AddRowf("%s|proposed %s baseline|%s|%s|%s", v.Regime, v.Relation, v.Class, agreement, spec)
 	}
-	return t.Text() + "\n" + vt.Text() + "\n" + r.Comparison.Summary() + "\n"
+	out := t.Text() + "\n"
+	if r.Robust != nil {
+		at := report.NewTable("Availability medians with bootstrap CIs (replicated sweep)",
+			"Regime", "System", "Availability CI")
+		for _, row := range r.Rows {
+			at.AddRowf("%s|%s|%s", row.Regime.Name, row.Proposed.Name, row.ProposedAvailCI)
+			at.AddRowf("%s|%s|%s", row.Regime.Name, row.Baseline.Name, row.BaselineAvailCI)
+		}
+		out += at.Text() + "\n" + vt.Text() + "\n" + r.Robust.Summary() + "\n"
+		return out
+	}
+	return out + vt.Text() + "\n" + r.Comparison.Summary() + "\n"
 }
 
 // FaultSweepCSV renders the sweep data for plotting.

@@ -74,3 +74,50 @@ func TestRunFaultSweepDeterministic(t *testing.T) {
 		t.Error("fault sweep rendering is not deterministic")
 	}
 }
+
+func TestRunFaultSweepReplicated(t *testing.T) {
+	o := Quick()
+	o.Trials = 3
+	r, err := RunFaultSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Robust == nil {
+		t.Fatal("Trials=3 should attach per-regime relation agreement")
+	}
+	if len(r.Robust.Confidence) != len(r.Comparison.Verdicts) {
+		t.Fatalf("confidence entries = %d, verdicts = %d",
+			len(r.Robust.Confidence), len(r.Comparison.Verdicts))
+	}
+	for i, c := range r.Robust.Confidence {
+		if c.Agreement < 0 || c.Agreement > 1 {
+			t.Errorf("regime %d agreement = %v", i, c.Agreement)
+		}
+	}
+	for _, row := range r.Rows {
+		if len(row.ProposedTrials) != 3 || len(row.BaselineTrials) != 3 {
+			t.Fatalf("regime %s trials = %d/%d, want 3/3",
+				row.Regime.Name, len(row.ProposedTrials), len(row.BaselineTrials))
+		}
+		if row.ProposedAvailCI.Hi < row.ProposedAvailCI.Lo {
+			t.Errorf("regime %s: inverted availability CI %v", row.Regime.Name, row.ProposedAvailCI)
+		}
+		if row.ProposedAvailCI.Lo < 0 || row.ProposedAvailCI.Hi > 1 {
+			t.Errorf("regime %s: availability CI outside [0,1]: %v", row.Regime.Name, row.ProposedAvailCI)
+		}
+	}
+	rep := FaultSweepReport(r)
+	for _, frag := range []string{"Agreement", "Availability CI", "relation agreement"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("replicated report missing %q", frag)
+		}
+	}
+	// Determinism: same options, identical result.
+	b, err := RunFaultSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FaultSweepReport(r) != FaultSweepReport(b) {
+		t.Error("replicated fault sweep is not deterministic")
+	}
+}

@@ -15,145 +15,203 @@ type Artifact struct {
 	Body []byte
 }
 
+// texts packages name/body string pairs as artifacts.
+func texts(pairs ...string) []Artifact {
+	out := make([]Artifact, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, Artifact{Name: pairs[i], Body: []byte(pairs[i+1])})
+	}
+	return out
+}
+
+// ExperimentSpec is one named, independently runnable unit of the
+// artifact sweep: it regenerates a cohesive subset of the paper's
+// artifacts. The fairfigs command maps these onto the crash-safe
+// runner, so each spec is a unit of panic isolation, deadline
+// enforcement and resume bookkeeping.
+type ExperimentSpec struct {
+	// Name identifies the experiment in the manifest and in logs.
+	Name string
+	// Render regenerates this experiment's artifacts.
+	Render func(o ExpOptions) ([]Artifact, error)
+}
+
+// Experiments returns the full artifact sweep in canonical order.
+// Artifacts produced by distinct specs never share filenames.
+func Experiments() []ExperimentSpec {
+	return []ExperimentSpec{
+		{Name: "table1", Render: func(o ExpOptions) ([]Artifact, error) {
+			t1 := RunTable1()
+			return texts(
+				"table1.txt", Table1Report(t1).Text(),
+				"table1.md", Table1Report(t1).Markdown(),
+				"table1.csv", Table1Report(t1).CSV(),
+				"scorecard.txt", ScorecardReport(t1).Text(),
+				"scorecard.md", ScorecardReport(t1).Markdown()), nil
+		}},
+		{Name: "figure1", Render: func(o ExpOptions) ([]Artifact, error) {
+			f1, err := RunFigure1(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"figure1a.svg", Figure1aPlot(f1).SVG(),
+				"figure1b.svg", Figure1bPlot(f1).SVG(),
+				"figure1.txt", Figure1Report(f1)), nil
+		}},
+		{Name: "figure2", Render: func(o ExpOptions) ([]Artifact, error) {
+			f2, err := RunFigure2(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"figure2.svg", Figure2Plot(f2).SVG(),
+				"figure2.csv", Figure2Table(f2).CSV(),
+				"figure2.txt", Figure2Table(f2).Text()), nil
+		}},
+		{Name: "switch-scaling", Render: func(o ExpOptions) ([]Artifact, error) {
+			e7, err := RunSwitchScaling(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"figure3.svg", Figure3Plot(e7).SVG(),
+				"example-switch.txt", SwitchScalingReport(e7)), nil
+		}},
+		{Name: "smartnic", Render: func(o ExpOptions) ([]Artifact, error) {
+			e6, err := RunSmartNIC(o)
+			if err != nil {
+				return nil, err
+			}
+			// The sensitivity grid reuses the measured §4.2 systems, so
+			// it rides in the same experiment.
+			sens, err := SensitivityReport(e6, 0.05)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"example-smartnic.txt", SmartNICReport(e6),
+				"sensitivity.txt", sens), nil
+		}},
+		{Name: "smartnic-robust", Render: func(o ExpOptions) ([]Artifact, error) {
+			// The replicated E6 example needs enough trials for the
+			// bootstrap to be meaningful; floor at five.
+			if o.Trials < 5 {
+				o.Trials = 5
+			}
+			e6, err := RunSmartNIC(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts("example-smartnic-robust.md", RobustSmartNICReport(e6, o)), nil
+		}},
+		{Name: "smartnic-breakdown", Render: func(o ExpOptions) ([]Artifact, error) {
+			eo, err := RunSmartNICBreakdown(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"example-smartnic-breakdown.md", BreakdownReport(eo).Markdown(),
+				"example-smartnic-timeline.svg", BreakdownTimeline(eo).SVG()), nil
+		}},
+		{Name: "latency", Render: func(o ExpOptions) ([]Artifact, error) {
+			e8, err := RunLatency(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts("example-latency.txt", LatencyReport(e8)), nil
+		}},
+		{Name: "pitfalls", Render: func(o ExpOptions) ([]Artifact, error) {
+			e9, err := RunPitfalls()
+			if err != nil {
+				return nil, err
+			}
+			return texts("pitfalls.txt", PitfallReport(e9)), nil
+		}},
+		{Name: "rfc2544", Render: func(o ExpOptions) ([]Artifact, error) {
+			e11, err := RunRFC2544(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"rfc2544.txt", RFC2544Report(e11),
+				"rfc2544-loss.csv", RFC2544LossCSV(e11),
+				"rfc2544-latency.csv", RFC2544LatencyCSV(e11),
+				"rfc2544-loss.svg", RFC2544LossChart(e11).SVG(),
+				"rfc2544-latency.svg", RFC2544LatencyChart(e11).SVG()), nil
+		}},
+		{Name: "burst", Render: func(o ExpOptions) ([]Artifact, error) {
+			eb, err := RunBurstSensitivity(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"burst.txt", BurstReport(eb),
+				"burst-latency.svg", BurstLatencyChart(eb).SVG()), nil
+		}},
+		{Name: "frontier", Render: func(o ExpOptions) ([]Artifact, error) {
+			fr, err := RunFrontier(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"frontier.txt", FrontierReport(fr),
+				"frontier.svg", FrontierPlot(fr).SVG()), nil
+		}},
+		{Name: "stateful-ablation", Render: func(o ExpOptions) ([]Artifact, error) {
+			sa, err := RunStatefulAblation(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts("ablation-stateful.txt", StatefulAblationReport(sa)), nil
+		}},
+		{Name: "operating-curves", Render: func(o ExpOptions) ([]Artifact, error) {
+			oc, err := RunOperatingCurves(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"operating-curves.txt", OperatingCurveReport(oc),
+				"operating-curves.csv", OperatingCurveCSV(oc)), nil
+		}},
+		{Name: "fault-sweep", Render: func(o ExpOptions) ([]Artifact, error) {
+			fs, err := RunFaultSweep(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"fault-sweep.txt", FaultSweepReport(fs),
+				"fault-sweep.csv", FaultSweepCSV(fs)), nil
+		}},
+		{Name: "pricing-release", Render: func(o ExpOptions) ([]Artifact, error) {
+			rel, err := PricingRelease()
+			if err != nil {
+				return nil, err
+			}
+			return texts("pricing-release.json", string(rel)), nil
+		}},
+	}
+}
+
 // RenderAll regenerates every paper artifact (tables, figures, worked
 // examples, the RFC 2544 suite, and the §3.1 pricing-model release) and
-// returns them as named artifacts ready to be written to disk. This is
-// the engine of the fairfigs command.
+// returns them as named artifacts ready to be written to disk. It runs
+// the experiments in order and fails fast on the first error; the
+// fairfigs command instead drives Experiments through the crash-safe
+// runner, which isolates failures per experiment.
 func RenderAll(o ExpOptions) ([]Artifact, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.withDefaults()
 	var out []Artifact
-	add := func(name, body string) {
-		out = append(out, Artifact{Name: name, Body: []byte(body)})
+	for _, e := range Experiments() {
+		arts, err := e.Render(o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		out = append(out, arts...)
 	}
-
-	// E1/E10 — Table 1 and the scorecard.
-	t1 := RunTable1()
-	add("table1.txt", Table1Report(t1).Text())
-	add("table1.md", Table1Report(t1).Markdown())
-	add("table1.csv", Table1Report(t1).CSV())
-	add("scorecard.txt", ScorecardReport(t1).Text())
-	add("scorecard.md", ScorecardReport(t1).Markdown())
-
-	// E2/E3 — Figure 1.
-	f1, err := RunFigure1(o)
-	if err != nil {
-		return nil, fmt.Errorf("figure 1: %w", err)
-	}
-	add("figure1a.svg", Figure1aPlot(f1).SVG())
-	add("figure1b.svg", Figure1bPlot(f1).SVG())
-	add("figure1.txt", Figure1Report(f1))
-
-	// E4 — Figure 2.
-	f2, err := RunFigure2(o)
-	if err != nil {
-		return nil, fmt.Errorf("figure 2: %w", err)
-	}
-	add("figure2.svg", Figure2Plot(f2).SVG())
-	add("figure2.csv", Figure2Table(f2).CSV())
-	add("figure2.txt", Figure2Table(f2).Text())
-
-	// E5/E7 — Figure 3 and the switch example.
-	e7, err := RunSwitchScaling(o)
-	if err != nil {
-		return nil, fmt.Errorf("switch scaling: %w", err)
-	}
-	add("figure3.svg", Figure3Plot(e7).SVG())
-	add("example-switch.txt", SwitchScalingReport(e7))
-
-	// E6 — SmartNIC example.
-	e6, err := RunSmartNIC(o)
-	if err != nil {
-		return nil, fmt.Errorf("smartnic example: %w", err)
-	}
-	add("example-smartnic.txt", SmartNICReport(e6))
-
-	// Observability — §4.2 example with per-stage latency attribution.
-	eo, err := RunSmartNICBreakdown(o)
-	if err != nil {
-		return nil, fmt.Errorf("smartnic breakdown: %w", err)
-	}
-	add("example-smartnic-breakdown.md", BreakdownReport(eo).Markdown())
-	add("example-smartnic-timeline.svg", BreakdownTimeline(eo).SVG())
-
-	// E8 — latency example.
-	e8, err := RunLatency(o)
-	if err != nil {
-		return nil, fmt.Errorf("latency example: %w", err)
-	}
-	add("example-latency.txt", LatencyReport(e8))
-
-	// E9 — pitfalls.
-	e9, err := RunPitfalls()
-	if err != nil {
-		return nil, fmt.Errorf("pitfalls: %w", err)
-	}
-	add("pitfalls.txt", PitfallReport(e9))
-
-	// E11 — RFC 2544 suite.
-	e11, err := RunRFC2544(o)
-	if err != nil {
-		return nil, fmt.Errorf("rfc2544: %w", err)
-	}
-	add("rfc2544.txt", RFC2544Report(e11))
-	add("rfc2544-loss.csv", RFC2544LossCSV(e11))
-	add("rfc2544-latency.csv", RFC2544LatencyCSV(e11))
-	add("rfc2544-loss.svg", RFC2544LossChart(e11).SVG())
-	add("rfc2544-latency.svg", RFC2544LatencyChart(e11).SVG())
-
-	// Extension — burst sensitivity under bursty arrivals.
-	eb, err := RunBurstSensitivity(o)
-	if err != nil {
-		return nil, fmt.Errorf("burst sensitivity: %w", err)
-	}
-	add("burst.txt", BurstReport(eb))
-	add("burst-latency.svg", BurstLatencyChart(eb).SVG())
-
-	// Extension — design-space frontier over all deployment classes.
-	fr, err := RunFrontier(o)
-	if err != nil {
-		return nil, fmt.Errorf("frontier: %w", err)
-	}
-	add("frontier.txt", FrontierReport(fr))
-	add("frontier.svg", FrontierPlot(fr).SVG())
-
-	// Extension — stateless vs stateful firewall ablation.
-	sa, err := RunStatefulAblation(o)
-	if err != nil {
-		return nil, fmt.Errorf("stateful ablation: %w", err)
-	}
-	add("ablation-stateful.txt", StatefulAblationReport(sa))
-
-	// Extension — operating curves (average power, energy-per-bit).
-	oc, err := RunOperatingCurves(o)
-	if err != nil {
-		return nil, fmt.Errorf("operating curves: %w", err)
-	}
-	add("operating-curves.txt", OperatingCurveReport(oc))
-	add("operating-curves.csv", OperatingCurveCSV(oc))
-
-	// Extension — fairness under failure: degraded-regime sweep.
-	fs, err := RunFaultSweep(o)
-	if err != nil {
-		return nil, fmt.Errorf("fault sweep: %w", err)
-	}
-	add("fault-sweep.txt", FaultSweepReport(fs))
-	add("fault-sweep.csv", FaultSweepCSV(fs))
-
-	// Extension — verdict sensitivity to measurement error on the
-	// measured §4.2 systems.
-	sens, err := SensitivityReport(e6, 0.05)
-	if err != nil {
-		return nil, fmt.Errorf("sensitivity: %w", err)
-	}
-	add("sensitivity.txt", sens)
-
-	// §3.1 — pricing-model release for the example systems.
-	rel, err := PricingRelease()
-	if err != nil {
-		return nil, fmt.Errorf("pricing release: %w", err)
-	}
-	add("pricing-release.json", string(rel))
-
 	return out, nil
 }
 
@@ -247,7 +305,7 @@ func Figure3Plot(e SwitchScalingResult) *report.PlanePlot {
 func SmartNICReport(e SmartNICResult) string {
 	t := report.NewTable("§4.2 example: SmartNIC-accelerated firewall (measured)",
 		"System", "Throughput (Gb/s)", "Power (W)", "p99 latency (µs)")
-	for _, m := range []MeasuredSystem{e.Baseline1, e.Baseline2, e.Proposed} {
+	for _, m := range []MeasuredSystem{e.Baseline1.MeasuredSystem, e.Baseline2.MeasuredSystem, e.Proposed.MeasuredSystem} {
 		t.AddRowf("%s|%.2f|%.0f|%.2f", m.Name, m.ThroughputGbps, m.PowerWatts, m.LatencyP99Us)
 	}
 	return t.Text() + "\n" + FormatVerdict(e.VerdictVs1) + "\n" + FormatVerdict(e.VerdictVs2)
@@ -273,7 +331,7 @@ func SwitchScalingReport(e SwitchScalingResult) string {
 func LatencyReport(e LatencyResult) string {
 	t := report.NewTable("§4.3 example: non-scalable latency comparisons (measured)",
 		"System", "p99 latency (µs)", "Power (W)")
-	for _, m := range []MeasuredSystem{e.FPGASystem, e.BigHost, e.SmallHost} {
+	for _, m := range []MeasuredSystem{e.FPGASystem.MeasuredSystem, e.BigHost.MeasuredSystem, e.SmallHost.MeasuredSystem} {
 		t.AddRowf("%s|%.2f|%.0f", m.Name, m.LatencyP99Us, m.PowerWatts)
 	}
 	return t.Text() + "\n" + FormatVerdict(e.VerdictComparable) + "\n" + FormatVerdict(e.VerdictIncomparable)

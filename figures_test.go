@@ -18,6 +18,11 @@ func synthMeasured(name string, gbps, watts float64) MeasuredSystem {
 		LatencyP50Us: 5, LatencyP99Us: 12}
 }
 
+func synthReplicated(name string, gbps, watts float64) ReplicatedSystem {
+	m := synthMeasured(name, gbps, watts)
+	return ReplicatedSystem{MeasuredSystem: m, Trials: []MeasuredSystem{m}, Seeds: []uint64{1}}
+}
+
 func synthVerdict(t *testing.T, pGbps, pW, bGbps, bW float64) Verdict {
 	t.Helper()
 	v, err := CompareThroughputPower(
@@ -31,11 +36,11 @@ func synthVerdict(t *testing.T, pGbps, pW, bGbps, bW float64) Verdict {
 
 func TestFigure1Plots(t *testing.T) {
 	f := Figure1Result{
-		OldSameCost: synthMeasured("old", 9.3, 50),
-		NewSameCost: synthMeasured("new", 11.8, 50),
+		OldSameCost: synthReplicated("old", 9.3, 50),
+		NewSameCost: synthReplicated("new", 11.8, 50),
 		TargetGbps:  11.8,
-		OldSamePerf: synthMeasured("old-2core", 11.8, 80),
-		NewSamePerf: synthMeasured("new", 11.8, 50),
+		OldSamePerf: synthReplicated("old-2core", 11.8, 80),
+		NewSamePerf: synthReplicated("new", 11.8, 50),
 	}
 	f.VerdictSameCost = synthVerdict(t, 11.8, 50, 9.3, 50)
 	f.VerdictSamePerf = synthVerdict(t, 11.8, 50, 11.8, 80)
@@ -58,7 +63,7 @@ func TestFigure1Plots(t *testing.T) {
 
 func TestFigure2Rendering(t *testing.T) {
 	f := Figure2Result{
-		Reference: synthMeasured("ref", 20, 70),
+		Reference: synthReplicated("ref", 20, 70),
 		Grid: []Figure2Cell{
 			{Gbps: 10, Watts: 50, Class: core.OutsideCheaperWorse},
 			{Gbps: 30, Watts: 60, Class: core.InRegionDominates},
@@ -79,8 +84,8 @@ func TestFigure2Rendering(t *testing.T) {
 
 func TestFigure3PlotIncludesScaledPoints(t *testing.T) {
 	res := SwitchScalingResult{
-		Proposed: synthMeasured("switch", 100, 200),
-		Baseline: synthMeasured("host", 35, 100),
+		Proposed: synthReplicated("switch", 100, 200),
+		Baseline: synthReplicated("host", 35, 100),
 		Verdict:  synthVerdict(t, 100, 200, 35, 100),
 	}
 	svg := Figure3Plot(res).SVG()
@@ -101,9 +106,9 @@ func TestFigure3PlotIncludesScaledPoints(t *testing.T) {
 
 func TestSmartNICAndLatencyReports(t *testing.T) {
 	e6 := SmartNICResult{
-		Baseline1:  synthMeasured("b1", 10, 50),
-		Baseline2:  synthMeasured("b2", 18, 80),
-		Proposed:   synthMeasured("p", 20, 70),
+		Baseline1:  synthReplicated("b1", 10, 50),
+		Baseline2:  synthReplicated("b2", 18, 80),
+		Proposed:   synthReplicated("p", 20, 70),
 		VerdictVs1: synthVerdict(t, 20, 70, 10, 50),
 		VerdictVs2: synthVerdict(t, 20, 70, 18, 80),
 	}
@@ -125,9 +130,9 @@ func TestSmartNICAndLatencyReports(t *testing.T) {
 		t.Fatal(err)
 	}
 	e8 := LatencyResult{
-		FPGASystem:          synthMeasured("fpga", 5, 65),
-		BigHost:             synthMeasured("big", 5, 260),
-		SmallHost:           synthMeasured("small", 3, 50),
+		FPGASystem:          synthReplicated("fpga", 5, 65),
+		BigHost:             synthReplicated("big", 5, 260),
+		SmallHost:           synthReplicated("small", 3, 50),
 		VerdictComparable:   lv1,
 		VerdictIncomparable: lv2,
 	}

@@ -8,7 +8,6 @@ import (
 	"fairbench/internal/metric"
 	"fairbench/internal/report"
 	"fairbench/internal/testbed"
-	"fairbench/internal/workload"
 )
 
 // FrontierResult generalises the paper's two-system comparisons to a
@@ -56,7 +55,7 @@ var frontierOrder = []string{
 // computes the throughput/power Pareto frontier.
 func RunFrontier(o ExpOptions) (FrontierResult, error) {
 	o = o.withDefaults()
-	gen := func() (*workload.Generator, error) { return testbed.E6Workload(o.Seed) }
+	gen := seededGen(testbed.E6Workload)
 	deployments := frontierDeployments()
 
 	var res FrontierResult
@@ -65,7 +64,7 @@ func RunFrontier(o ExpOptions) (FrontierResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("frontier: %w", err)
 		}
-		res.Systems = append(res.Systems, ms)
+		res.Systems = append(res.Systems, ms.MeasuredSystem)
 	}
 
 	plane := core.DefaultPlane()

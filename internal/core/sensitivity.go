@@ -45,6 +45,8 @@ type SensitivityResult struct {
 	Distribution map[Conclusion]int
 	// Evaluations is the grid size.
 	Evaluations int
+	// RelError echoes the perturbation magnitude the grid used.
+	RelError float64
 }
 
 // Robust reports whether at least the given fraction of perturbed
@@ -78,6 +80,7 @@ func SensitivityAnalysis(e *Evaluator, proposed, baseline System, opts Sensitivi
 	res := SensitivityResult{
 		Nominal:      nominal.Conclusion,
 		Distribution: make(map[Conclusion]int),
+		RelError:     opts.RelError,
 	}
 
 	// Perturbation factors per coordinate.

@@ -1,0 +1,52 @@
+// Package runner hardens a sweep of artifact-producing experiments
+// against the ways long runs die: a panicking experiment is isolated
+// and recorded instead of aborting the sweep, a wall-clock deadline
+// bounds each experiment, transient measurement failures are retried
+// with a fresh attempt number (so the caller can derive a new seed),
+// every artifact write is atomic (temp file + rename — a killed run
+// never leaves a truncated SVG or CSV), and a checkpointed manifest
+// lets a re-run with Resume skip experiments whose artifacts already
+// exist intact.
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers never observe a
+// partial file: the bytes land in a same-directory temp file which is
+// fsynced and then renamed over the target. On any error the temp file
+// is removed and the previous target (if any) is left untouched.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runner: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: atomic write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: atomic write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"time"
+)
+
+// ErrPanic wraps a panic recovered from an experiment.
+var ErrPanic = errors.New("runner: experiment panicked")
+
+// ErrDeadline wraps a per-experiment wall-clock deadline overrun.
+var ErrDeadline = errors.New("runner: experiment deadline exceeded")
+
+// Artifact is one named output file of an experiment.
+type Artifact struct {
+	Name string
+	Body []byte
+}
+
+// Experiment is one unit of a sweep. Run receives the attempt number
+// (0 on the first try, incremented on each retry) so it can derive a
+// fresh seed when a measurement comes back non-finite.
+type Experiment struct {
+	Name string
+	Run  func(attempt int) ([]Artifact, error)
+}
+
+// Options configures a sweep.
+type Options struct {
+	// OutDir receives the artifacts and the manifest.
+	OutDir string
+	// Timeout is the per-experiment wall-clock deadline (0 = none).
+	Timeout time.Duration
+	// Retries is the number of extra attempts granted when ShouldRetry
+	// approves the error.
+	Retries int
+	// ShouldRetry decides whether an error is transient (e.g. a
+	// non-finite measurement that a fresh seed may fix). Nil disables
+	// retries.
+	ShouldRetry func(error) bool
+	// Resume skips experiments the manifest records as completed with
+	// all artifacts intact on disk.
+	Resume bool
+	// Fingerprint identifies the option set producing the artifacts;
+	// Resume refuses to mix fingerprints.
+	Fingerprint string
+	// Log receives one line per experiment (nil discards).
+	Log io.Writer
+}
+
+// Result summarises a sweep.
+type Result struct {
+	Manifest          Manifest
+	Ran, Skipped      int
+	Failed            int
+	ArtifactsWritten  int
+	ManifestPath      string
+	FailedExperiments []string
+}
+
+// Err returns a non-nil error when any experiment failed, after the
+// whole sweep has run — callers decide whether that is fatal.
+func (r Result) Err() error {
+	if r.Failed == 0 {
+		return nil
+	}
+	return fmt.Errorf("runner: %d of %d experiments failed: %v",
+		r.Failed, r.Ran+r.Skipped, r.FailedExperiments)
+}
+
+// Run executes the sweep. Every experiment runs inside panic isolation
+// and (when configured) a wall-clock deadline; a failure is recorded
+// in the manifest and the sweep continues. The manifest is saved
+// atomically after every experiment, so a killed sweep loses at most
+// the experiment it was inside — never a written artifact.
+func Run(experiments []Experiment, o Options) (Result, error) {
+	if o.OutDir == "" {
+		return Result{}, fmt.Errorf("runner: no output directory")
+	}
+	if err := os.MkdirAll(o.OutDir, 0o755); err != nil {
+		return Result{}, err
+	}
+	logf := func(format string, args ...any) {
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, format+"\n", args...)
+		}
+	}
+
+	manifestPath := filepath.Join(o.OutDir, ManifestName)
+	manifest := Manifest{Version: manifestVersion, Fingerprint: o.Fingerprint}
+	if o.Resume {
+		prev, err := LoadManifest(manifestPath)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(prev.Records) > 0 && prev.Fingerprint != o.Fingerprint {
+			return Result{}, fmt.Errorf("%w: manifest has %q, options give %q (rerun without -resume or with matching flags)",
+				ErrFingerprint, prev.Fingerprint, o.Fingerprint)
+		}
+		manifest = prev
+		manifest.Fingerprint = o.Fingerprint
+	}
+
+	res := Result{ManifestPath: manifestPath}
+	for _, exp := range experiments {
+		if o.Resume && manifest.Completed(exp.Name, o.OutDir) {
+			res.Skipped++
+			logf("skip %s (resume: complete)", exp.Name)
+			continue
+		}
+		rec := runOne(exp, o)
+		if rec.Status == StatusFailed {
+			res.Failed++
+			res.FailedExperiments = append(res.FailedExperiments, exp.Name)
+			logf("FAIL %s: %s", exp.Name, rec.Error)
+		} else {
+			for _, a := range rec.Artifacts {
+				res.ArtifactsWritten++
+				logf("wrote %s (%d bytes)", filepath.Join(o.OutDir, a.Name), a.Bytes)
+			}
+		}
+		res.Ran++
+		manifest.Upsert(rec)
+		// Checkpoint after every experiment so a kill -9 between
+		// experiments loses nothing.
+		if err := manifest.Save(manifestPath); err != nil {
+			return res, err
+		}
+	}
+	res.Manifest = manifest
+	return res, nil
+}
+
+// runOne executes one experiment with retries, panic isolation and the
+// deadline, then writes its artifacts atomically.
+func runOne(exp Experiment, o Options) Record {
+	rec := Record{Experiment: exp.Name, Status: StatusOK}
+	var artifacts []Artifact
+	var err error
+	for attempt := 0; ; attempt++ {
+		rec.Attempts = attempt + 1
+		artifacts, err = callGuarded(exp, attempt, o.Timeout)
+		if err == nil {
+			break
+		}
+		retryable := o.ShouldRetry != nil && o.ShouldRetry(err) && !errors.Is(err, ErrDeadline)
+		if attempt >= o.Retries || !retryable {
+			rec.Status = StatusFailed
+			rec.Error = err.Error()
+			return rec
+		}
+	}
+	for _, a := range artifacts {
+		if werr := WriteFileAtomic(filepath.Join(o.OutDir, a.Name), a.Body, 0o644); werr != nil {
+			rec.Status = StatusFailed
+			rec.Error = werr.Error()
+			return rec
+		}
+		rec.Artifacts = append(rec.Artifacts, ArtifactRecord{Name: a.Name, Bytes: len(a.Body)})
+	}
+	return rec
+}
+
+// callGuarded invokes the experiment with panic recovery and, when
+// timeout > 0, a wall-clock deadline. On deadline overrun the worker
+// goroutine is abandoned (the simulation is CPU-bound and has no
+// cancellation point); its eventual result is discarded.
+func callGuarded(exp Experiment, attempt int, timeout time.Duration) (artifacts []Artifact, err error) {
+	type outcome struct {
+		artifacts []Artifact
+		err       error
+	}
+	run := func() (out outcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = outcome{err: fmt.Errorf("%w: %v\n%s", ErrPanic, r, debug.Stack())}
+			}
+		}()
+		a, e := exp.Run(attempt)
+		return outcome{artifacts: a, err: e}
+	}
+	if timeout <= 0 {
+		out := run()
+		return out.artifacts, out.err
+	}
+	ch := make(chan outcome, 1)
+	go func() { ch <- run() }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.artifacts, out.err
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: %q exceeded %v", ErrDeadline, exp.Name, timeout)
+	}
+}

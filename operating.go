@@ -142,8 +142,8 @@ func SensitivityReport(e6 SmartNICResult, relError float64) (string, error) {
 		name     string
 		baseline MeasuredSystem
 	}{
-		{"fw-smartnic vs fw-host-1core", e6.Baseline1},
-		{"fw-smartnic vs fw-host-2core", e6.Baseline2},
+		{"fw-smartnic vs fw-host-1core", e6.Baseline1.MeasuredSystem},
+		{"fw-smartnic vs fw-host-2core", e6.Baseline2.MeasuredSystem},
 	}
 	for _, p := range pairs {
 		res, err := core.SensitivityAnalysis(ev,

@@ -62,9 +62,9 @@ func TestRunOperatingCurves(t *testing.T) {
 func TestSensitivityReport(t *testing.T) {
 	// Use synthetic measured systems (no simulation needed).
 	e6 := SmartNICResult{
-		Baseline1: MeasuredSystem{Name: "fw-host-1core", ThroughputGbps: 9.26, PowerWatts: 50},
-		Baseline2: MeasuredSystem{Name: "fw-host-2core", ThroughputGbps: 15.5, PowerWatts: 80},
-		Proposed:  MeasuredSystem{Name: "fw-smartnic", ThroughputGbps: 21.7, PowerWatts: 70},
+		Baseline1: ReplicatedSystem{MeasuredSystem: MeasuredSystem{Name: "fw-host-1core", ThroughputGbps: 9.26, PowerWatts: 50}},
+		Baseline2: ReplicatedSystem{MeasuredSystem: MeasuredSystem{Name: "fw-host-2core", ThroughputGbps: 15.5, PowerWatts: 80}},
+		Proposed:  ReplicatedSystem{MeasuredSystem: MeasuredSystem{Name: "fw-smartnic", ThroughputGbps: 21.7, PowerWatts: 70}},
 	}
 	out, err := SensitivityReport(e6, 0.05)
 	if err != nil {

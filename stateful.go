@@ -21,8 +21,8 @@ import (
 
 // StatefulAblationResult is the measured ablation.
 type StatefulAblationResult struct {
-	Stateless MeasuredSystem
-	Stateful  MeasuredSystem
+	Stateless ReplicatedSystem
+	Stateful  ReplicatedSystem
 	Verdict   Verdict
 	// Speedup is stateful/stateless processed throughput.
 	Speedup float64
@@ -51,14 +51,14 @@ func RunStatefulAblation(o ExpOptions) (StatefulAblationResult, error) {
 	o = o.withDefaults()
 	// Few, long flows: the regime where state pays. Zipf popularity
 	// concentrates packets on flows that stay established.
-	gen := func() (*workload.Generator, error) {
+	gen := seededGen(func(seed uint64) (*workload.Generator, error) {
 		return workload.NewGenerator(workload.Spec{
 			Flows:          512,
 			ZipfSkew:       1.1,
 			AttackFraction: 0.2,
-			Seed:           o.Seed,
+			Seed:           seed,
 		})
-	}
+	})
 	var res StatefulAblationResult
 	var err error
 	res.Stateless, err = measureThroughput("fw-stateless-1core",
