@@ -1,0 +1,8 @@
+// A fixture with one deliberate wallclock violation for CLI tests.
+package dirty
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

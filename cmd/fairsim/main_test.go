@@ -408,3 +408,24 @@ func TestTrialsFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestSortedKeysDeterministic(t *testing.T) {
+	// The per-device power table iterates this result; it must be sorted
+	// on every call or map iteration order would leak into the artifact.
+	m := map[string]float64{}
+	want := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for i, k := range want {
+		m[k] = float64(i)
+	}
+	for trial := 0; trial < 50; trial++ {
+		got := sortedKeys(m)
+		if len(got) != len(want) {
+			t.Fatalf("len = %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: keys[%d] = %q, want %q (unsorted map order leaked)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerGoldens runs each rule's testdata corpus (positive,
+// negative, and suppressed cases) and asserts the exact findings —
+// positions, messages, and fix hints — against the expect.txt golden.
+func TestAnalyzerGoldens(t *testing.T) {
+	rules := []string{"wallclock", "globalrand", "maporder", "simconc", "errtype", "allowmeta"}
+	for _, rule := range rules {
+		t.Run(rule, func(t *testing.T) {
+			dir := filepath.Join("testdata", rule)
+			findings, err := Run(Config{Dir: dir})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := WriteText(&buf, findings); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join(dir, "expect.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := buf.String(); got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldensCoverEveryRule guards the corpus itself: each analyzer must
+// have at least one positive case, so a rule silently going dead fails
+// here rather than in production.
+func TestGoldensCoverEveryRule(t *testing.T) {
+	seen := map[string]bool{}
+	dirs, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		data, err := os.ReadFile(filepath.Join("testdata", d.Name(), "expect.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			parts := strings.SplitN(line, ": ", 3)
+			if len(parts) >= 2 {
+				seen[parts[1]] = true
+			}
+		}
+	}
+	for _, rule := range append(KnownRules(), RuleAllow) {
+		if !seen[rule] {
+			t.Errorf("no golden case exercises rule %s", rule)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text, rule, reason string
+		ok                 bool
+	}{
+		{"//fairlint:allow wallclock operator log only", "wallclock", "operator log only", true},
+		{"//fairlint:allow wallclock", "wallclock", "", true},
+		{"//fairlint:allow", "", "", true},
+		{"//fairlint:allow  maporder   spaced   out  ", "maporder", "spaced out", true},
+		{"//fairlint:allowwallclock smushed", "", "", false},
+		{"// fairlint:allow wallclock spaced directive is not a directive", "", "", false},
+		{"// ordinary comment", "", "", false},
+		{"//fairlint:deny wallclock", "", "", false},
+	}
+	for _, c := range cases {
+		rule, reason, ok := ParseAllow(c.text)
+		if rule != c.rule || reason != c.reason || ok != c.ok {
+			t.Errorf("ParseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, rule, reason, ok, c.rule, c.reason, c.ok)
+		}
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		rel, pat string
+		want     bool
+	}{
+		{".", "./...", true},
+		{"internal/sim", "./...", true},
+		{"internal/sim", "./internal/...", true},
+		{"internal/sim", "internal/...", true},
+		{"internal/sim", "./internal/sim", true},
+		{"internal/simulator", "./internal/sim", false},
+		{"internal/simulator", "./internal/sim/...", false},
+		{"internal/sim/sub", "./internal/sim/...", true},
+		{".", ".", true},
+		{"cmd/fairsim", ".", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.rel, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.rel, c.pat, got, c.want)
+		}
+	}
+}
+
+// TestSuppressedFindingsStaySuppressed pins the allow semantics: the
+// corpus contains suppressed positives (same-line and line-above allows)
+// and none of them may reappear as findings.
+func TestSuppressedFindingsStaySuppressed(t *testing.T) {
+	for _, dir := range []string{"wallclock", "globalrand", "maporder", "errtype"} {
+		findings, err := Run(Config{Dir: filepath.Join("testdata", dir)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			if f.Rule == RuleAllow {
+				t.Errorf("%s corpus: allow machinery flagged a defective suppression: %s", dir, f)
+			}
+		}
+	}
+}

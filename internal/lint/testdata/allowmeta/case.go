@@ -1,0 +1,20 @@
+// Corpus for the allow meta-rule: a suppression must name a known rule,
+// carry a reason, and actually suppress something.
+package allowmetacase
+
+import "time"
+
+func properlySuppressed() time.Time {
+	return time.Now() //fairlint:allow wallclock demo timestamp for docs output only
+}
+
+func missingReason() time.Time {
+	return time.Now() //fairlint:allow wallclock
+}
+
+//fairlint:allow rainbow this rule does not exist
+func unknownRule() {}
+
+func unused() {
+	//fairlint:allow wallclock nothing on this line reads the clock
+}

@@ -1,0 +1,38 @@
+// Corpus for the errtype rule: sentinels must be stable error values and
+// fmt.Errorf chains mentioning one must wrap with %w.
+package errtypecase
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGood = errors.New("errtypecase: stable sentinel")
+
+var ErrBadFmt = fmt.Errorf("errtypecase: built at init with %d args", 1)
+
+var ErrCount = 7
+
+var ErrLater error
+
+type flakyError struct{ code int }
+
+func (e *flakyError) Error() string { return "flaky" }
+
+var ErrTyped error = &flakyError{code: 1}
+
+func init() {
+	ErrLater = errors.New("errtypecase: assigned too late")
+}
+
+func wrapGood() error {
+	return fmt.Errorf("loading config: %w", ErrGood)
+}
+
+func wrapBad() error {
+	return fmt.Errorf("loading config: %v", ErrGood)
+}
+
+func wrapSuppressed() error {
+	return fmt.Errorf("loading config: %v", ErrGood) //fairlint:allow errtype migration shim, callers match on string until v2
+}

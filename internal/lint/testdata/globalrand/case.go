@@ -1,0 +1,26 @@
+// Corpus for the globalrand rule: globals and opaque sources are
+// flagged; explicitly seeded instances and their methods are fine.
+package globalrandcase
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10)
+}
+
+func alsoBad() *rand.Rand {
+	return rand.New(opaqueSource())
+}
+
+func opaqueSource() rand.Source {
+	return rand.NewSource(1)
+}
+
+func good() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func suppressed() float64 {
+	return rand.Float64() //fairlint:allow globalrand jitter for demo output only, not measured
+}

@@ -1,0 +1,61 @@
+// Corpus for the maporder rule: map iteration whose order reaches a
+// writer or escapes through an unsorted append is flagged; the
+// collect-sort-iterate idiom and order-insensitive sinks are fine.
+package mapordercase
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func bad(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func badEscape(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badHelper(w io.Writer, m map[string]int) {
+	for k := range m {
+		emit(w, k)
+	}
+}
+
+func emit(w io.Writer, s string) {
+	_, _ = io.WriteString(w, s)
+}
+
+func good(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func goodSet(m map[string]int) map[string]struct{} {
+	set := make(map[string]struct{}, len(m))
+	for k := range m {
+		set[k] = struct{}{}
+	}
+	return set
+}
+
+func suppressed(m map[string]int) []int {
+	var sums []int
+	for _, v := range m {
+		sums = append(sums, v) //fairlint:allow maporder consumed by an order-insensitive integer sum
+	}
+	return sums
+}

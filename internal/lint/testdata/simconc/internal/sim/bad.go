@@ -1,0 +1,30 @@
+// Corpus for the simconc rule: this file mirrors a deterministic
+// event-loop package dir (internal/sim), where every concurrency
+// construct below is flagged.
+package sim
+
+import "sync"
+
+type Loop struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (l *Loop) Spawn() {
+	go l.drain()
+}
+
+func (l *Loop) drain() {
+	for range l.ch {
+	}
+}
+
+func (l *Loop) send(v int) {
+	l.mu.Lock()
+	l.ch <- v
+	l.mu.Unlock()
+}
+
+func (l *Loop) recv() int {
+	return <-l.ch
+}

@@ -1,0 +1,27 @@
+// Corpus for the wallclock rule: wall-clock reads are flagged outside
+// allowlisted packages; time types and constants are fine.
+package wallclockcase
+
+import "time"
+
+const tick = 5 * time.Millisecond // constants carry no nondeterminism
+
+func bad() time.Time {
+	return time.Now()
+}
+
+func alsoBad(d time.Duration) {
+	time.Sleep(d)
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since)
+}
+
+func good(d time.Duration) time.Duration {
+	return d.Round(tick)
+}
+
+func suppressed() time.Time {
+	return time.Now() //fairlint:allow wallclock operator-facing log timestamp, never enters artifacts
+}

@@ -1,0 +1,13 @@
+// The runner package dir is allowlisted: wall time here is operational
+// (deadlines, retries), not measurement, so nothing below is flagged.
+package runner
+
+import "time"
+
+func Deadline(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}
+
+func Nap(d time.Duration) {
+	time.Sleep(d)
+}

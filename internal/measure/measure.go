@@ -7,6 +7,7 @@ package measure
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"fairbench/internal/packet"
@@ -146,10 +147,14 @@ func (f *FairnessMeter) Record(ft packet.FiveTuple, frameBytes int) {
 func (f *FairnessMeter) Flows() int { return len(f.bytes) }
 
 // JFI computes Jain's fairness index over the per-flow byte counts.
+// Allocations are sorted before summing: float addition is not
+// associative, so map iteration order would otherwise leak into the
+// index's low bits and break byte-identical replay.
 func (f *FairnessMeter) JFI() float64 {
 	alloc := make([]float64, 0, len(f.bytes))
 	for _, b := range f.bytes {
 		alloc = append(alloc, float64(b))
 	}
+	sort.Float64s(alloc)
 	return perf.Jain(alloc)
 }

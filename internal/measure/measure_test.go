@@ -173,3 +173,32 @@ func TestFairnessMeterZeroByteFlow(t *testing.T) {
 		t.Errorf("JFI over an all-zero allocation = %v, want 0 (not NaN)", got)
 	}
 }
+
+func TestJFIByteIdenticalAccumulation(t *testing.T) {
+	// Float addition is not associative: a 2^53 allocation absorbs lone
+	// +1 addends unless the small values accumulate first. JFI sorts the
+	// allocations before summing, so the index must be bit-identical on
+	// every call regardless of map iteration order. Without the sort,
+	// repeated calls disagree with the sorted-order value almost surely.
+	f := NewFairnessMeter()
+	f.Record(packet.FiveTuple{SrcPort: 999, Proto: packet.ProtoUDP}, 1<<53)
+	const small = 12
+	for i := 0; i < small; i++ {
+		f.Record(packet.FiveTuple{SrcPort: uint16(i), Proto: packet.ProtoUDP}, 1)
+	}
+
+	var sum, sumSq float64
+	for i := 0; i < small; i++ { // ascending order: smallest addends first
+		sum += 1
+		sumSq += 1
+	}
+	sum += float64(uint64(1) << 53)
+	sumSq += float64(uint64(1)<<53) * float64(uint64(1)<<53)
+	want := sum * sum / (float64(small+1) * sumSq)
+
+	for i := 0; i < 50; i++ {
+		if got := f.JFI(); got != want {
+			t.Fatalf("call %d: JFI = %v, want bit-identical %v", i, got, want)
+		}
+	}
+}

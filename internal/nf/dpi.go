@@ -2,6 +2,7 @@ package nf
 
 import (
 	"fmt"
+	"sort"
 
 	"fairbench/internal/packet"
 )
@@ -189,12 +190,15 @@ func (c *FlowCounter) Process(p *packet.Parser, frame []byte) (Result, error) {
 	return Result{Verdict: Accept, Cycles: CyclesParse + CyclesCount}, nil
 }
 
-// ByteAllocations returns per-flow byte counts as a slice, the input
-// Jain's fairness index expects.
+// ByteAllocations returns per-flow byte counts as a sorted slice, the
+// input Jain's fairness index expects. Sorting pins the float
+// accumulation order downstream, which map iteration would otherwise
+// randomize run to run.
 func (c *FlowCounter) ByteAllocations() []float64 {
 	out := make([]float64, 0, len(c.Bytes))
 	for _, b := range c.Bytes {
 		out = append(out, float64(b))
 	}
+	sort.Float64s(out)
 	return out
 }

@@ -322,3 +322,30 @@ func TestVerdictString(t *testing.T) {
 		t.Error("unknown verdict")
 	}
 }
+
+func TestByteAllocationsSortedDeterministic(t *testing.T) {
+	// ByteAllocations pins the downstream float accumulation order by
+	// sorting; map iteration order must not reach the caller. The large
+	// value makes any unsorted order visible to Jain's index too.
+	c := NewFlowCounter("count")
+	c.Bytes[natFlow(99, packet.ProtoUDP)] = 1 << 53
+	for i := uint16(0); i < 12; i++ {
+		c.Bytes[natFlow(i, packet.ProtoUDP)] = uint64(i) + 1
+	}
+	want := make([]float64, 0, 13)
+	for i := 1; i <= 12; i++ {
+		want = append(want, float64(i))
+	}
+	want = append(want, float64(uint64(1)<<53))
+	for trial := 0; trial < 50; trial++ {
+		got := c.ByteAllocations()
+		if len(got) != len(want) {
+			t.Fatalf("len = %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: alloc[%d] = %v, want %v (unsorted map order leaked)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
