@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+
+	"fairbench/internal/nf"
+	"fairbench/internal/obs"
+	"fairbench/internal/packet"
+	"fairbench/internal/sim"
+	"fairbench/internal/testbed"
+	"fairbench/internal/workload"
+)
+
+// Performance baseline (-bench-json): the ROADMAP asks for a perf
+// trajectory across PRs, which needs a first checked-in baseline.
+// This file measures the pipeline's hot paths with testing.Benchmark
+// (a command cannot import _test files, so the closures mirror the
+// bench_test.go shapes) and emits a stable JSON document. The numbers
+// are machine-dependent by nature — the artifact documents a
+// trajectory on comparable hardware, it is not a determinism surface.
+
+// benchResult is one benchmark's figures.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchDoc is the emitted document.
+type benchDoc struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchCases returns the hot-path benchmarks, keyed by stable names.
+// Each op is one event/packet, so ops_per_sec reads as events/sec or
+// packets/sec directly.
+func benchCases() map[string]func(b *testing.B) {
+	return map[string]func(b *testing.B){
+		// Simulation kernel: schedule-and-run one event per op.
+		"sim-event-throughput": func(b *testing.B) {
+			s := sim.New()
+			var tick func()
+			n := 0
+			tick = func() {
+				n++
+				if n < b.N {
+					_ = s.At(s.Now()+1, tick)
+				}
+			}
+			_ = s.At(1, tick)
+			b.ResetTimer()
+			s.RunAll()
+		},
+		// Header parse and validation of one prebuilt frame per op.
+		"packet-parse": func(b *testing.B) {
+			g, err := workload.NewGenerator(workload.Spec{Flows: 64, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pk, err := g.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := packet.NewParser()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Parse(pk.Frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		// Linear-matcher firewall processing one parsed packet per op.
+		"nf-firewall-process": func(b *testing.B) {
+			fw := nf.NewFirewall("bench", nf.NewLinearMatcher(
+				testbed.FirewallRules(testbed.DefaultFillerRules)))
+			g, err := workload.NewGenerator(workload.Spec{Flows: 64, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pk, err := g.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := packet.NewParser()
+			if err := p.Parse(pk.Frame); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fw.Process(p, pk.Frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		// End-to-end simulated SmartNIC deployment: one offered packet
+		// per op (4 Mpps CBR, so wall time per op is the simulator's
+		// per-packet cost across dispatch, devices and meters).
+		"testbed-smartnic-packet": func(b *testing.B) {
+			d, err := testbed.SmartNICFirewall()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := testbed.E6Workload(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const pps = 4e6
+			b.ResetTimer()
+			if _, err := d.Run(g, workload.CBR{}, pps, float64(b.N)/pps); err != nil {
+				b.Fatal(err)
+			}
+		},
+		// Observability span lifecycle: open, attribute, end (no writer).
+		"obs-span": func(b *testing.B) {
+			tr := obs.New(nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := tr.StartSpan(float64(i))
+				sp.Stage("queue", 1e-6)
+				sp.Stage("service", 2e-6)
+				sp.End("bench", "forward")
+			}
+		},
+	}
+}
+
+// runBenchJSON measures every case and writes the JSON document.
+func runBenchJSON(stdout io.Writer) error {
+	cases := benchCases()
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	doc := benchDoc{
+		Schema:    "fairbench-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, name := range names {
+		r := testing.Benchmark(cases[name])
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := benchResult{
+			Name:        name,
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if ns > 0 {
+			res.OpsPerSec = 1e9 / ns
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(stdout, string(out))
+	return err
+}

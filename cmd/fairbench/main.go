@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	fairbench [-json] [-example] [spec.json]
+//	fairbench [-json] [-example] [-audit] [-bench-json] [spec.json]
 //
 // With -example, the built-in §4.2 SmartNIC-firewall spec is evaluated.
 // Otherwise the spec is read from the given file, or from stdin when no
 // file is given.
+//
+// With -bench-json, fairbench instead runs the pipeline's hot-path
+// benchmarks (simulation kernel, packet parse, firewall processing,
+// end-to-end testbed packet, span emission) and prints a JSON baseline
+// document; redirect it to BENCH_baseline.json to (re)establish the
+// perf trajectory the ROADMAP tracks.
 package main
 
 import (
@@ -41,13 +47,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the text report")
 	example := fs.Bool("example", false, "evaluate the built-in paper §4.2 example spec")
 	audit := fs.Bool("audit", false, "treat the input as an evaluation-design audit spec and run the seven-principle checklist")
+	benchJSON := fs.Bool("bench-json", false, "run the hot-path benchmarks and emit a BENCH baseline JSON document")
 	fs.SetOutput(stdout)
 	fs.Usage = func() {
-		fmt.Fprintln(stdout, "usage: fairbench [-json] [-example] [-audit] [spec.json]")
+		fmt.Fprintln(stdout, "usage: fairbench [-json] [-example] [-audit] [-bench-json] [spec.json]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchJSON {
+		if *example || *audit || fs.NArg() > 0 {
+			return fmt.Errorf("-bench-json takes no spec input")
+		}
+		return runBenchJSON(stdout)
 	}
 
 	var data []byte

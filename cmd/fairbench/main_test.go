@@ -98,3 +98,50 @@ func TestRunAuditMode(t *testing.T) {
 		t.Errorf("audit output:\n%s", got)
 	}
 }
+
+func TestBenchJSONRejectsSpecInput(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-bench-json", "-example"},
+		{"-bench-json", "-audit"},
+		{"-bench-json", "spec.json"},
+	} {
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("%v: expected an error", args)
+		}
+	}
+}
+
+func TestBenchJSONEmitsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks take seconds each")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-bench-json"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema     string `json:"schema"`
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Schema != "fairbench-bench/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Benchmarks) != 5 {
+		t.Fatalf("want 5 benchmarks, got %d", len(doc.Benchmarks))
+	}
+	for i, b := range doc.Benchmarks {
+		if b.NsPerOp <= 0 {
+			t.Errorf("benchmark %s: ns_per_op %v", b.Name, b.NsPerOp)
+		}
+		if i > 0 && doc.Benchmarks[i-1].Name >= b.Name {
+			t.Errorf("benchmarks not sorted by name at %d: %s >= %s", i, doc.Benchmarks[i-1].Name, b.Name)
+		}
+	}
+}

@@ -8,7 +8,7 @@
 //
 //	fairsim -system {host|smartnic|switch|fpga} [-cores N] [-pps RATE]
 //	        [-seconds S] [-attack FRAC] [-poisson] [-seed N] [-search]
-//	        [-trials K] [-ci LEVEL]
+//	        [-profile] [-trials K] [-ci LEVEL]
 //	        [-impair-drop P] [-impair-corrupt P] [-impair-dup P]
 //	        [-faults SPEC]
 //	        [-record FILE -count N] [-replay FILE -stretch X]
@@ -18,6 +18,16 @@
 // replaces the single fixed-rate run. The -impair-* flags inject
 // ingress faults; -record captures a trace and -replay runs one through
 // the deployment at its recorded (optionally stretched) timestamps.
+//
+// With -profile, the run becomes a saturation-delta bottleneck profile
+// of the deployment's canonical scenario: the RFC 2544 saturation
+// search is repeated with each pipeline operator ablated to price the
+// operator (Δ = saturation ablated − full, with bootstrap CIs over
+// -trials replicates), and the full pipeline is observed below and
+// above the knee to name the bottleneck device per load regime.
+// Supported systems: host (1 or 2 -cores), smartnic, switch. -profile
+// uses the scenario's canonical workload, so it conflicts with the
+// workload and run-mode flags.
 //
 // With -trials K (K >= 2), the fixed-rate run or the -search is
 // replicated over K independently seeded trials: the nominal
@@ -59,6 +69,7 @@ import (
 	"fairbench/internal/fault"
 	"fairbench/internal/hw"
 	"fairbench/internal/obs"
+	"fairbench/internal/profile"
 	"fairbench/internal/report"
 	"fairbench/internal/rfc2544"
 	"fairbench/internal/stats"
@@ -84,6 +95,7 @@ func run(args []string, stdout io.Writer) error {
 	poisson := fs.Bool("poisson", false, "Poisson arrivals instead of constant rate")
 	seed := fs.Uint64("seed", 1, "random seed (determinism: same seed, same results)")
 	search := fs.Bool("search", false, "RFC 2544 throughput search instead of a fixed-rate run")
+	profileFlag := fs.Bool("profile", false, "saturation-delta bottleneck profile of the deployment's canonical scenario")
 	trials := fs.Int("trials", 1, "independently seeded replicate runs (>= 2 enables bootstrap CIs)")
 	ci := fs.Float64("ci", 0.95, "bootstrap confidence level for -trials >= 2, in (0, 1)")
 	dropProb := fs.Float64("impair-drop", 0, "ingress drop probability (failure injection)")
@@ -174,6 +186,52 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("-faults: %w", err)
 		}
+	}
+
+	if *profileFlag {
+		// The profiler owns its run modes and canonical workloads, so
+		// every other mode or workload-shaping flag is a conflict.
+		switch {
+		case *search:
+			return fmt.Errorf("-profile and -search are mutually exclusive (-profile runs its own saturation searches)")
+		case *record != "" || *replay != "":
+			return fmt.Errorf("-profile cannot be combined with -record/-replay")
+		case *faults != "":
+			return fmt.Errorf("-profile and -faults are mutually exclusive (the profile measures the healthy pipeline)")
+		case *trace != "":
+			return fmt.Errorf("-profile and -trace are mutually exclusive")
+		case *dropProb != 0 || *corruptProb != 0 || *dupProb != 0:
+			return fmt.Errorf("-profile and -impair-* are mutually exclusive")
+		}
+		var workloadFlags []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "pps", "attack", "flows", "poisson":
+				workloadFlags = append(workloadFlags, "-"+f.Name)
+			}
+		})
+		if len(workloadFlags) > 0 {
+			return fmt.Errorf("-profile uses the scenario's canonical workload; drop %s", strings.Join(workloadFlags, ", "))
+		}
+		name := *system
+		if name == "host" {
+			name = fmt.Sprintf("host-%dcore", *cores)
+		}
+		target, err := testbed.FirewallProfileTarget(name)
+		if err != nil {
+			return err
+		}
+		p, err := profile.Run(target, profile.Options{
+			TrialSeconds: *seconds,
+			Seed:         *seed,
+			Trials:       *trials,
+			Level:        *ci,
+		})
+		if err != nil {
+			return err
+		}
+		printProfile(stdout, p)
+		return nil
 	}
 
 	mkDeployment := func() (*testbed.Deployment, error) {
@@ -380,6 +438,30 @@ func run(args []string, stdout io.Writer) error {
 	}
 	printResult(stdout, res)
 	return finish()
+}
+
+// printProfile renders a saturation-delta profile: the saturation
+// point, the per-operator costs and the bottleneck per load regime.
+func printProfile(w io.Writer, p profile.Profile) {
+	fmt.Fprintf(w, "%s saturates at %.3f Mpps (%.2f Gb/s), CI [%.3f, %.3f] Mpps over %d trial(s)\n",
+		p.System, p.SaturationPps/1e6, p.SaturationGbps,
+		p.SaturationCI.Lo/1e6, p.SaturationCI.Hi/1e6, p.Trials)
+	ops := report.NewTable("Per-operator saturation deltas (Δ = ablated − full)",
+		"Operator", "Ablated (Mpps)", "Δ (Mpps)", "CI (Mpps)", "Share")
+	for _, op := range p.Operators {
+		ops.AddRowf("%s|%.3f|%+.3f|[%.3f, %.3f]|%+.1f%%",
+			op.Operator, op.AblatedPps/1e6, op.DeltaPps/1e6,
+			op.DeltaCI.Lo/1e6, op.DeltaCI.Hi/1e6, op.Share*100)
+	}
+	fmt.Fprint(w, ops.Text())
+	bt := report.NewTable("Bottleneck per load regime",
+		"Regime", "Load", "Offered (Mpps)", "Loss", "Bottleneck", "Mean util", "Max queue")
+	for _, reg := range p.Regimes {
+		bt.AddRowf("%s|%.0f%%|%.3f|%.2f%%|%s|%.0f%%|%d",
+			reg.Regime, reg.LoadFraction*100, reg.OfferedPps/1e6,
+			reg.LossFraction*100, reg.Device, reg.Utilization*100, reg.MaxQueue)
+	}
+	fmt.Fprint(w, bt.Text())
 }
 
 // printFaultReport renders the injected fault schedule and the

@@ -429,3 +429,60 @@ func TestSortedKeysDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestRunProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile runs many saturation searches")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "-system", "smartnic", "-seconds", "0.004"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"fw-smartnic saturates", "Per-operator saturation deltas",
+		"smartnic-fastpath", "pre-knee", "post-knee", "Bottleneck per load regime"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunProfileHostCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile runs many saturation searches")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "-system", "host", "-cores", "2", "-seconds", "0.004"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fw-host-2core saturates") {
+		t.Errorf("-cores 2 should profile the 2-core host:\n%s", out.String())
+	}
+}
+
+func TestProfileFlagConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"profile+search", []string{"-profile", "-search"}, "mutually exclusive"},
+		{"profile+replay", []string{"-profile", "-replay", "f"}, "-record/-replay"},
+		{"profile+faults", []string{"-profile", "-faults", "linkloss:prob=0.1"}, "healthy"},
+		{"profile+trace", []string{"-profile", "-trace", "t.jsonl"}, "mutually exclusive"},
+		{"profile+impair", []string{"-profile", "-impair-drop", "0.1"}, "-impair-*"},
+		{"profile+pps", []string{"-profile", "-pps", "1e6"}, "canonical workload"},
+		{"profile+fpga", []string{"-profile", "-system", "fpga"}, "no profile target"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		err := run(c.args, &out)
+		if err == nil {
+			t.Errorf("%s: expected an error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}

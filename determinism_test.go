@@ -1,0 +1,50 @@
+package fairbench
+
+import "testing"
+
+// Byte-identity regression tests: every reporting artifact must come
+// out byte-for-byte identical across in-process runs at the same seed.
+// reflect.DeepEqual on result structs would miss formatting drift
+// (map-ordered rows, %g jitter), so these compare the rendered bytes.
+
+func TestOperatingCurveCSVByteIdentity(t *testing.T) {
+	o := Quick()
+	o.Seed = 7
+	run := func() string {
+		res, err := RunOperatingCurves(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return OperatingCurveCSV(res)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("OperatingCurveCSV not byte-identical across runs at seed %d:\n--- first ---\n%s\n--- second ---\n%s", o.Seed, a, b)
+	}
+}
+
+func TestBottleneckProfileArtifactsByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiler saturation searches are slow; skipping in -short")
+	}
+	o := Quick()
+	o.Seed = 7
+	run := func() [4]string {
+		bp, err := RunBottleneckProfile(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [4]string{
+			BottleneckProfileReport(bp),
+			BottleneckCostCSV(bp),
+			BottleneckMapCSV(bp),
+			BottleneckCostChart(bp).SVG(),
+		}
+	}
+	a, b := run(), run()
+	for i, name := range [4]string{"report", "cost CSV", "map CSV", "cost SVG"} {
+		if a[i] != b[i] {
+			t.Errorf("profiler %s not byte-identical across runs at seed %d:\n--- first ---\n%s\n--- second ---\n%s", name, o.Seed, a[i], b[i])
+		}
+	}
+}

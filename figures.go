@@ -183,6 +183,17 @@ func Experiments() []ExperimentSpec {
 				"fault-sweep.txt", FaultSweepReport(fs),
 				"fault-sweep.csv", FaultSweepCSV(fs)), nil
 		}},
+		{Name: "bottleneck-profile", Render: func(o ExpOptions) ([]Artifact, error) {
+			bp, err := RunBottleneckProfile(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"example-smartnic-bottleneck.md", BottleneckProfileReport(bp),
+				"profile-operator-costs.csv", BottleneckCostCSV(bp),
+				"profile-operator-costs.svg", BottleneckCostChart(bp).SVG(),
+				"profile-bottleneck-map.csv", BottleneckMapCSV(bp)), nil
+		}},
 		{Name: "pricing-release", Render: func(o ExpOptions) ([]Artifact, error) {
 			rel, err := PricingRelease()
 			if err != nil {

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"fairbench/internal/stats"
+)
+
+// Explained verdicts: the paper's core complaint is that heterogeneous
+// comparisons report *that* one device class wins without explaining
+// *why*, so verdicts do not transfer across regimes. This file joins
+// the verdict machinery with a component-level profile of each system
+// (saturation-delta operator costs and per-regime bottlenecks, produced
+// by internal/profile and converted by the driver) so that a
+// RobustVerdict can carry its mechanism — "B dominates A because A's
+// host cores saturate past the knee while B's fast path carries the
+// flow mix" — and each fault-regime flip can name the component whose
+// failure caused it.
+//
+// The types here are deliberately plain: core stays independent of how
+// profiles are measured, it only reasons about them.
+
+// ErrProfileMismatch is returned when a profile's system name does not
+// match the verdict side it is attached to.
+var ErrProfileMismatch = errors.New("core: profile does not match verdict system")
+
+// ComponentEffect is one component's measured effect on a system's
+// saturation throughput (the saturation delta of ablating it).
+// Negative DeltaPps means the component contributes capacity; positive
+// means it costs capacity.
+type ComponentEffect struct {
+	// Component names the component (a testbed stage toggle).
+	Component string
+	// Description says what the component does.
+	Description string
+	// DeltaPps is the median saturation delta of ablating it.
+	DeltaPps float64
+	// CI is the bootstrap confidence interval of DeltaPps.
+	CI stats.Interval
+	// Share is DeltaPps as a fraction of the full saturation rate.
+	Share float64
+}
+
+// BottleneckObservation names a system's bottleneck in one load regime.
+type BottleneckObservation struct {
+	// Regime labels the observed load regime ("pre-knee", "post-knee").
+	Regime string
+	// Device is the hottest device in that regime.
+	Device string
+	// Utilization is the device's mean sampled utilization.
+	Utilization float64
+}
+
+// ComponentProfile is the per-system evidence an explanation draws on.
+type ComponentProfile struct {
+	// System must match the verdict side the profile explains.
+	System string
+	// SaturationPps is the system's measured saturation throughput.
+	SaturationPps float64
+	// Bottlenecks names the hottest device per observed load regime.
+	Bottlenecks []BottleneckObservation
+	// Effects lists the measured component effects, in catalogue order.
+	Effects []ComponentEffect
+}
+
+// bottleneck returns the observation for one regime.
+func (cp ComponentProfile) bottleneck(regime string) (BottleneckObservation, bool) {
+	for _, b := range cp.Bottlenecks {
+		if b.Regime == regime {
+			return b, true
+		}
+	}
+	return BottleneckObservation{}, false
+}
+
+// dominantContributor returns the effect with the most negative delta —
+// the component contributing the most capacity — when one exists.
+func (cp ComponentProfile) dominantContributor() (ComponentEffect, bool) {
+	found := false
+	var best ComponentEffect
+	for _, e := range cp.Effects {
+		if e.DeltaPps < 0 && (!found || e.DeltaPps < best.DeltaPps) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// effect finds a component's measured effect by name.
+func (cp ComponentProfile) effect(component string) (ComponentEffect, bool) {
+	for _, e := range cp.Effects {
+		if e.Component == component {
+			return e, true
+		}
+	}
+	return ComponentEffect{}, false
+}
+
+// ExplainedVerdict is a RobustVerdict plus the component-level evidence
+// attributing it.
+type ExplainedVerdict struct {
+	RobustVerdict
+	// ProposedProfile and BaselineProfile are the two systems'
+	// component profiles (the embedded Verdict already owns the
+	// Proposed/Baseline field names).
+	ProposedProfile ComponentProfile
+	BaselineProfile ComponentProfile
+	// Attribution is the one-line mechanism: who wins, which component
+	// carries the win, and where the loser bottlenecks.
+	Attribution string
+	// Evidence lists the supporting measurements, one line each.
+	Evidence []string
+}
+
+// ExplainVerdict joins a robust verdict with the two systems' component
+// profiles and attributes the outcome.
+func ExplainVerdict(rv RobustVerdict, proposed, baseline ComponentProfile) (ExplainedVerdict, error) {
+	if proposed.System != rv.Proposed.Name {
+		return ExplainedVerdict{}, fmt.Errorf("%w: proposed profile is %q, verdict compares %q",
+			ErrProfileMismatch, proposed.System, rv.Proposed.Name)
+	}
+	if baseline.System != rv.Baseline.Name {
+		return ExplainedVerdict{}, fmt.Errorf("%w: baseline profile is %q, verdict compares %q",
+			ErrProfileMismatch, baseline.System, rv.Baseline.Name)
+	}
+	ev := ExplainedVerdict{RobustVerdict: rv, ProposedProfile: proposed, BaselineProfile: baseline}
+
+	var winner, loser *ComponentProfile
+	switch rv.Conclusion {
+	case ProposedSuperior:
+		winner, loser = &proposed, &baseline
+	case BaselineSuperior:
+		winner, loser = &baseline, &proposed
+	}
+	if winner == nil {
+		ev.Attribution = fmt.Sprintf("no single winner (%s): %s saturates at %.2f Mpps, %s at %.2f Mpps",
+			rv.Conclusion, proposed.System, proposed.SaturationPps/1e6,
+			baseline.System, baseline.SaturationPps/1e6)
+	} else {
+		var parts []string
+		parts = append(parts, fmt.Sprintf("%s wins (%s, %.0f%% bootstrap agreement)",
+			winner.System, rv.Conclusion, rv.Confidence*100))
+		if c, ok := winner.dominantContributor(); ok {
+			parts = append(parts, fmt.Sprintf("its %s contributes %.2f Mpps of capacity (%.0f%% of saturation)",
+				c.Component, -c.DeltaPps/1e6, -c.Share*100))
+		}
+		if b, ok := loser.bottleneck("post-knee"); ok {
+			parts = append(parts, fmt.Sprintf("%s bottlenecks on %s past the knee (%.0f%% utilized)",
+				loser.System, b.Device, b.Utilization*100))
+		}
+		ev.Attribution = strings.Join(parts, "; ")
+	}
+
+	for _, cp := range []ComponentProfile{proposed, baseline} {
+		ev.Evidence = append(ev.Evidence, fmt.Sprintf("%s saturates at %.2f Mpps", cp.System, cp.SaturationPps/1e6))
+		for _, e := range cp.Effects {
+			ev.Evidence = append(ev.Evidence, fmt.Sprintf("%s: ablating %s moves saturation by %+.2f Mpps (CI [%.2f, %.2f])",
+				cp.System, e.Component, e.DeltaPps/1e6, e.CI.Lo/1e6, e.CI.Hi/1e6))
+		}
+		for _, b := range cp.Bottlenecks {
+			ev.Evidence = append(ev.Evidence, fmt.Sprintf("%s %s bottleneck: %s (%.0f%% utilized)",
+				cp.System, b.Regime, b.Device, b.Utilization*100))
+		}
+	}
+	return ev, nil
+}
+
+// RegimeComponent maps a fault regime to the component its fault spec
+// targets ("" for environmental regimes like link loss or bursts that
+// target no component).
+type RegimeComponent struct {
+	Regime    string
+	Component string
+}
+
+// FlipAttribution explains one regime whose verdict differs from the
+// reference regime's.
+type FlipAttribution struct {
+	// Regime is the flipped regime's name.
+	Regime string
+	// Relation and Reference are the flipped and reference relations.
+	Relation, Reference Relation
+	// Component is the faulted component ("" when the fault is
+	// environmental).
+	Component string
+	// Effect is the faulted component's measured effect in whichever
+	// profile carries it (nil when unmeasured or environmental).
+	Effect *ComponentEffect
+	// Explanation is the human-readable attribution.
+	Explanation string
+}
+
+// AttributeFlips explains each regime flip of a degraded comparison by
+// naming the faulted component and, when the profiles price it, its
+// measured contribution to the capacity the fault removed.
+func AttributeFlips(dc DegradedComparison, rc []RegimeComponent, proposed, baseline ComponentProfile) []FlipAttribution {
+	if len(dc.Verdicts) == 0 {
+		return nil
+	}
+	ref := dc.Verdicts[0]
+	component := func(regime string) string {
+		for _, m := range rc {
+			if m.Regime == regime {
+				return m.Component
+			}
+		}
+		return ""
+	}
+	var out []FlipAttribution
+	for _, flip := range dc.Flips {
+		var rv RegimeVerdict
+		for _, v := range dc.Verdicts {
+			if v.Regime == flip {
+				rv = v
+				break
+			}
+		}
+		fa := FlipAttribution{
+			Regime:    flip,
+			Relation:  rv.Relation,
+			Reference: ref.Relation,
+			Component: component(flip),
+		}
+		switch {
+		case fa.Component == "":
+			fa.Explanation = fmt.Sprintf("%s: %s → %s; environmental fault (no single component), the flip reflects the regime itself",
+				flip, ref.Relation, rv.Relation)
+		default:
+			owner := ""
+			if e, ok := proposed.effect(fa.Component); ok {
+				fa.Effect, owner = &e, proposed.System
+			} else if e, ok := baseline.effect(fa.Component); ok {
+				fa.Effect, owner = &e, baseline.System
+			}
+			if fa.Effect != nil {
+				fa.Explanation = fmt.Sprintf("%s: %s → %s; the fault removes %s's %s, which the profiler prices at %.2f Mpps of capacity",
+					flip, ref.Relation, rv.Relation, owner, fa.Component, -fa.Effect.DeltaPps/1e6)
+			} else {
+				fa.Explanation = fmt.Sprintf("%s: %s → %s; the fault hits %s, which the profiles do not price",
+					flip, ref.Relation, rv.Relation, fa.Component)
+			}
+		}
+		out = append(out, fa)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fairbench/internal/stats"
+)
+
+func explainFixtures() (RobustVerdict, ComponentProfile, ComponentProfile) {
+	rv := RobustVerdict{Confidence: 0.97}
+	rv.Proposed = System{Name: "fw-smartnic"}
+	rv.Baseline = System{Name: "fw-host-2core"}
+	rv.Conclusion = ProposedSuperior
+	prop := ComponentProfile{
+		System:        "fw-smartnic",
+		SaturationPps: 8e6,
+		Bottlenecks: []BottleneckObservation{
+			{Regime: "pre-knee", Device: "smartnic", Utilization: 0.7},
+			{Regime: "post-knee", Device: "smartnic", Utilization: 0.99},
+		},
+		Effects: []ComponentEffect{
+			{Component: "fw-filler-rules", DeltaPps: 0.5e6, CI: stats.Interval{Lo: 0.4e6, Hi: 0.6e6}, Share: 0.0625},
+			{Component: "smartnic-fastpath", DeltaPps: -5e6, CI: stats.Interval{Lo: -5.5e6, Hi: -4.5e6}, Share: -0.625},
+		},
+	}
+	base := ComponentProfile{
+		System:        "fw-host-2core",
+		SaturationPps: 5e6,
+		Bottlenecks: []BottleneckObservation{
+			{Regime: "post-knee", Device: "core0", Utilization: 1.0},
+		},
+		Effects: []ComponentEffect{
+			{Component: "fw-filler-rules", DeltaPps: 1e6, CI: stats.Interval{Lo: 0.9e6, Hi: 1.1e6}, Share: 0.2},
+		},
+	}
+	return rv, prop, base
+}
+
+func TestExplainVerdictAttribution(t *testing.T) {
+	rv, prop, base := explainFixtures()
+	ev, err := ExplainVerdict(rv, prop, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fw-smartnic wins", "smartnic-fastpath", "5.00 Mpps", "fw-host-2core bottlenecks on core0"} {
+		if !strings.Contains(ev.Attribution, want) {
+			t.Errorf("attribution missing %q:\n%s", want, ev.Attribution)
+		}
+	}
+	if len(ev.Evidence) == 0 {
+		t.Fatal("no evidence lines")
+	}
+	joined := strings.Join(ev.Evidence, "\n")
+	for _, want := range []string{"fw-smartnic saturates at 8.00 Mpps", "ablating smartnic-fastpath moves saturation by -5.00 Mpps", "post-knee bottleneck: core0"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("evidence missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestExplainVerdictBaselineWins(t *testing.T) {
+	rv, prop, base := explainFixtures()
+	rv.Conclusion = BaselineSuperior
+	ev, err := ExplainVerdict(rv, prop, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ev.Attribution, "fw-host-2core wins") {
+		t.Errorf("want baseline attribution, got %s", ev.Attribution)
+	}
+	// The baseline profile has no negative-delta component, so the
+	// attribution must fall back to the loser's bottleneck alone.
+	if strings.Contains(ev.Attribution, "contributes") {
+		t.Errorf("baseline has no capacity contributor to cite: %s", ev.Attribution)
+	}
+}
+
+func TestExplainVerdictNoWinner(t *testing.T) {
+	rv, prop, base := explainFixtures()
+	rv.Conclusion = Tie
+	ev, err := ExplainVerdict(rv, prop, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ev.Attribution, "no single winner") {
+		t.Errorf("tie should explain both saturations: %s", ev.Attribution)
+	}
+}
+
+func TestExplainVerdictRejectsMismatch(t *testing.T) {
+	rv, prop, base := explainFixtures()
+	prop.System = "something-else"
+	if _, err := ExplainVerdict(rv, prop, base); !errors.Is(err, ErrProfileMismatch) {
+		t.Fatalf("want ErrProfileMismatch, got %v", err)
+	}
+	_, prop, _ = explainFixtures()
+	base.System = "also-wrong"
+	if _, err := ExplainVerdict(rv, prop, base); !errors.Is(err, ErrProfileMismatch) {
+		t.Fatalf("want ErrProfileMismatch for baseline, got %v", err)
+	}
+}
+
+func TestAttributeFlips(t *testing.T) {
+	_, prop, base := explainFixtures()
+	dc := DegradedComparison{
+		Verdicts: []RegimeVerdict{
+			{Regime: "healthy", Relation: Dominates},
+			{Regime: "smartnic-outage", Relation: DominatedBy},
+			{Regime: "link-loss", Relation: Incomparable},
+		},
+		Flips: []string{"smartnic-outage", "link-loss"},
+	}
+	rc := []RegimeComponent{
+		{Regime: "smartnic-outage", Component: "smartnic-fastpath"},
+		{Regime: "link-loss", Component: ""},
+	}
+	out := AttributeFlips(dc, rc, prop, base)
+	if len(out) != 2 {
+		t.Fatalf("want 2 attributions, got %d", len(out))
+	}
+	fa := out[0]
+	if fa.Component != "smartnic-fastpath" || fa.Effect == nil {
+		t.Fatalf("outage flip should cite the priced fast path: %+v", fa)
+	}
+	if !strings.Contains(fa.Explanation, "5.00 Mpps") || !strings.Contains(fa.Explanation, "fw-smartnic") {
+		t.Errorf("explanation should price the component: %s", fa.Explanation)
+	}
+	env := out[1]
+	if env.Component != "" || env.Effect != nil || !strings.Contains(env.Explanation, "environmental") {
+		t.Errorf("link loss is environmental: %+v", env)
+	}
+	if env.Reference != Dominates || env.Relation != Incomparable {
+		t.Errorf("wrong relations recorded: %+v", env)
+	}
+}
+
+func TestAttributeFlipsEmpty(t *testing.T) {
+	_, prop, base := explainFixtures()
+	if out := AttributeFlips(DegradedComparison{}, nil, prop, base); out != nil {
+		t.Errorf("no verdicts should attribute nothing, got %+v", out)
+	}
+	dc := DegradedComparison{Verdicts: []RegimeVerdict{{Regime: "healthy", Relation: Dominates}}, Stable: true}
+	if out := AttributeFlips(dc, nil, prop, base); len(out) != 0 {
+		t.Errorf("stable comparison should attribute nothing, got %+v", out)
+	}
+}

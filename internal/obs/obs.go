@@ -71,6 +71,7 @@ type Tracer struct {
 	reg     *Registry
 	sink    func(Event)
 	bd      Breakdown
+	us      UtilSummary
 	spanSeq uint64
 	events  uint64
 	err     error
@@ -136,6 +137,9 @@ func (t *Tracer) Emit(e Event) {
 		return
 	}
 	t.events++
+	if e.Kind == "sample" {
+		t.us.add(e)
+	}
 	if t.sink != nil {
 		t.sink(e)
 	}

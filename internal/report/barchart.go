@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grouped bar charts, used by the bottleneck profiler's figures: one
+// group per operator or regime, one bar per system. Values may be
+// negative (saturation deltas are signed), so the chart draws a zero
+// baseline and hangs negative bars below it. Rendering iterates only
+// slices, so output is byte-deterministic for identical input.
+
+// BarSeries is one system's values across the chart's groups.
+type BarSeries struct {
+	Name string
+	// Values aligns with the chart's Groups; missing trailing entries
+	// render as zero-height bars.
+	Values []float64
+}
+
+// BarChart is a grouped vertical bar chart.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Groups []string
+	Series []BarSeries
+}
+
+// SVG renders the chart.
+func (c *BarChart) SVG() string {
+	minY, maxY := 0.0, 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY > 0 {
+		maxY = NiceCeil(maxY)
+	}
+	if minY < 0 {
+		minY = -NiceCeil(-minY)
+	}
+	if maxY == minY { // all-zero chart: give the axis a span
+		maxY = 1
+	}
+
+	y := func(v float64) float64 {
+		return marginT + (maxY-v)/(maxY-minY)*plotH
+	}
+	groupW := float64(plotW) / float64(max(len(c.Groups), 1))
+	barW := groupW * 0.8 / float64(max(len(c.Series), 1))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", svgW, svgH, svgW, svgH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="14" font-family="sans-serif" font-weight="bold">%s</text>`+"\n", marginL, marginT-10, esc(c.Title))
+
+	// Y axis, ticks and gridlines.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT, marginL, svgH-marginB)
+	for i := 0; i <= 5; i++ {
+		v := minY + (maxY-minY)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e5e7eb"/>`+"\n", marginL, y(v), svgW-marginR, y(v))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="end">%s</text>`+"\n", marginL-6, y(v)+3, tickSigned(v))
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-size="12" font-family="sans-serif" transform="rotate(-90 14 %d)">%s</text>`+"\n", marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	// Bars.
+	for gi, g := range c.Groups {
+		gx := float64(marginL) + groupW*float64(gi) + groupW*0.1
+		for si, s := range c.Series {
+			v := 0.0
+			if gi < len(s.Values) {
+				v = s.Values[gi]
+			}
+			top, h := y(v), y(0)-y(v)
+			if v < 0 {
+				top, h = y(0), y(v)-y(0)
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				gx+barW*float64(si), top, barW, h, seriesColors[si%len(seriesColors)])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW*0.4, svgH-marginB+16, esc(g))
+	}
+
+	// Zero baseline above the bars so it stays visible.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n", marginL, y(0), svgW-marginR, y(0))
+
+	// Legend.
+	for si, s := range c.Series {
+		lx, ly := svgW-marginR-150, marginT+14*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly, seriesColors[si%len(seriesColors)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n", lx+14, ly+9, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// tickSigned renders an axis value that may be negative.
+func tickSigned(v float64) string {
+	if v < 0 {
+		return "-" + tick(-v)
+	}
+	return tick(v)
+}

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartSVG(t *testing.T) {
+	c := &BarChart{
+		Title:  "Operator costs",
+		YLabel: "Δ saturation (Mpps)",
+		Groups: []string{"attack", "filler", "fastpath"},
+		Series: []BarSeries{
+			{Name: "fw-smartnic", Values: []float64{0.4, 1.2, -5.0}},
+			{Name: "fw-host-2core", Values: []float64{0.6, 2.0}},
+		},
+	}
+	svg := c.SVG()
+	for _, want := range []string{"<svg", "Operator costs", "fw-smartnic", "fw-host-2core", "fastpath", "Δ saturation"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if svg != c.SVG() {
+		t.Error("BarChart rendering is not deterministic")
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	empty := &BarChart{Title: "empty"}
+	if !strings.Contains(empty.SVG(), "</svg>") {
+		t.Error("empty chart should still render a document")
+	}
+	zero := &BarChart{Groups: []string{"g"}, Series: []BarSeries{{Name: "s", Values: []float64{0}}}}
+	if !strings.Contains(zero.SVG(), "</svg>") {
+		t.Error("all-zero chart should still render a document")
+	}
+}
+
+func TestTickSigned(t *testing.T) {
+	if got := tickSigned(-2.5); got != "-2.5" {
+		t.Errorf("tickSigned(-2.5) = %q", got)
+	}
+	if got := tickSigned(0); got != "0" {
+		t.Errorf("tickSigned(0) = %q", got)
+	}
+}

@@ -1,0 +1,76 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fairbench/internal/fault"
+	"fairbench/internal/obs"
+	"fairbench/internal/workload"
+)
+
+// The periodic sampler runs as ordinary simulation events, so it must
+// keep ticking straight through fault windows and show the fault in the
+// sampled utilization: a SmartNIC outage reroutes traffic to the host
+// path, so smartnic samples inside the window read (near) zero busy
+// while samples outside show offload load.
+func TestSamplerObservesFaultWindow(t *testing.T) {
+	const dur = 0.02
+	spec, err := fault.ParseSpec(fmt.Sprintf("outage:dev=smartnic,at=%g,for=%g", 0.25*dur, 0.5*dur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := SmartNICFirewall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := E6Workload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New(nil)
+	var snic []obs.Event
+	tr.SetSink(func(e obs.Event) {
+		if e.Kind == "sample" && strings.HasSuffix(e.Device, "/smartnic") {
+			snic = append(snic, e)
+		}
+	})
+	d.Observe(tr, dur/40)
+	if _, _, err := d.RunWithFaults(g, workload.CBR{}, 2e6, dur, spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(snic) == 0 {
+		t.Fatal("no smartnic samples recorded")
+	}
+	// The outage window is [.25d, .75d). Leave one sample period of
+	// slack on each side: the first in-window tick still aggregates
+	// busy time accrued before the fault hit.
+	const lo, hi = 0.25*dur + dur/40, 0.75 * dur
+	var inWin, outWin, inMax, outMax float64
+	var nIn, nOut int
+	for _, e := range snic {
+		if e.T >= lo && e.T < hi {
+			nIn++
+			inWin += e.Util
+			if e.Util > inMax {
+				inMax = e.Util
+			}
+		} else {
+			nOut++
+			outWin += e.Util
+			if e.Util > outMax {
+				outMax = e.Util
+			}
+		}
+	}
+	if nIn == 0 || nOut == 0 {
+		t.Fatalf("sampler skipped a region: %d in-window, %d out-of-window samples", nIn, nOut)
+	}
+	if inMax != 0 {
+		t.Errorf("smartnic busy during its own outage: max in-window util %v", inMax)
+	}
+	if outMax == 0 {
+		t.Error("smartnic never busy outside the outage window")
+	}
+}

@@ -13,6 +13,7 @@
 package testbed
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -66,6 +67,19 @@ type Config struct {
 	// MutatesFrames must be set when the NF rewrites packets (NAT,
 	// LB) so the harness hands it private frame copies.
 	MutatesFrames bool
+
+	// AblateStages names pipeline stages to disable for this
+	// deployment — the saturation-delta profiler's stage toggles. An
+	// ablated device stays in the bill of materials (its power is still
+	// provisioned and drawn); only its dataplane function is switched
+	// off, so a delta against the full pipeline isolates the *function's*
+	// contribution. Recognized names: StageSmartNICFastPath (all traffic
+	// takes the host slow path) and StageSwitchPredrop (the switch stops
+	// preprocessing). NF-level operators are ablated by the scenario
+	// constructors instead (see FirewallProfileTarget). Naming a stage
+	// the configuration does not include is an error wrapping
+	// ErrUnknownStage.
+	AblateStages []string
 }
 
 func (c Config) withDefaults() Config {
@@ -87,10 +101,40 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Stage toggle names understood by Config.AblateStages and the
+// firewall profile targets. The pipeline toggles disable a device's
+// dataplane function while keeping the device provisioned; the NF-level
+// toggles are interpreted by the scenario constructors, which rebuild
+// the rule set.
+const (
+	// StageSmartNICFastPath disables the SmartNIC flow-offload fast
+	// path: no lookups, no installs, every packet takes the host slow
+	// path.
+	StageSmartNICFastPath = "smartnic-fastpath"
+	// StageSwitchPredrop disables the programmable switch's
+	// preprocessing stage (as if the switch carried no rules).
+	StageSwitchPredrop = "switch-predrop"
+	// StageAttackRule removes the firewall's rule-0 early drop of
+	// blocklisted traffic (NF-level; see FirewallProfileTarget).
+	StageAttackRule = "fw-attack-rule"
+	// StageFillerRules removes the firewall's filler rules, collapsing
+	// the linear scan to its minimum depth (NF-level).
+	StageFillerRules = "fw-filler-rules"
+)
+
+// ErrUnknownStage is the typed error for an ablation toggle the target
+// pipeline does not have.
+var ErrUnknownStage = errors.New("testbed: unknown ablatable stage")
+
 // Deployment is an assembled system ready to run traffic.
 type Deployment struct {
 	cfg Config
 	s   *sim.Sim
+
+	// offSmartNIC and offSwitch record pipeline-stage ablations
+	// (Config.AblateStages).
+	offSmartNIC bool
+	offSwitch   bool
 
 	chassis  *hw.Chassis
 	nic      *hw.NIC
@@ -154,6 +198,22 @@ func New(cfg Config) (*Deployment, error) {
 	}
 	if cfg.FPGA != nil {
 		d.fpga = hw.NewFPGA(cfg.Name+"/fpga", d.s, *cfg.FPGA)
+	}
+	for _, st := range cfg.AblateStages {
+		switch st {
+		case StageSmartNICFastPath:
+			if d.smartnic == nil {
+				return nil, fmt.Errorf("%w: %s: %q needs a SmartNIC", ErrUnknownStage, cfg.Name, st)
+			}
+			d.offSmartNIC = true
+		case StageSwitchPredrop:
+			if d.sw == nil {
+				return nil, fmt.Errorf("%w: %s: %q needs a switch", ErrUnknownStage, cfg.Name, st)
+			}
+			d.offSwitch = true
+		default:
+			return nil, fmt.Errorf("%w: %s: %q", ErrUnknownStage, cfg.Name, st)
+		}
 	}
 	return d, nil
 }
@@ -464,7 +524,7 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 	// Stage 1: programmable switch preprocessing at line rate. A downed
 	// switch is bypassed (fail-open), leaving all classification to the
 	// host.
-	if d.sw != nil && !d.sw.Down() {
+	if d.sw != nil && !d.offSwitch && !d.sw.Down() {
 		verdict, swLat := d.sw.Process(pk.Flow)
 		sp.Stage("switch", swLat)
 		if verdict == nf.Drop {
@@ -506,7 +566,7 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 
 	// Stage 3: SmartNIC fast path for established flows. Saturation,
 	// table misses and outages all punt to the host slow path.
-	if d.smartnic != nil {
+	if d.smartnic != nil && !d.offSmartNIC {
 		flow := pk.Flow
 		if d.smartnic.Offload(flow, func(so hw.Sojourn) {
 			tput.Process(size, true)
@@ -561,7 +621,7 @@ func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, s
 		spanSojourn(sp, so)
 		sp.End(core.Name(), verdictLabel(forwarded))
 		// Install the offload entry once the host has vetted the flow.
-		if d.smartnic != nil && forwarded {
+		if d.smartnic != nil && !d.offSmartNIC && forwarded {
 			d.smartnic.Install(flow)
 		}
 	})
