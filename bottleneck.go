@@ -106,6 +106,7 @@ func RunBottleneckProfile(o ExpOptions) (BottleneckProfileResult, error) {
 		Trials:             o.Trials,
 		ResolutionFraction: o.SearchResolution,
 		Level:              o.CI,
+		Jobs:               o.Jobs,
 	}
 
 	propTarget, err := testbed.FirewallProfileTarget("smartnic")

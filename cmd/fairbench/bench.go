@@ -11,6 +11,7 @@ import (
 	"fairbench/internal/nf"
 	"fairbench/internal/obs"
 	"fairbench/internal/packet"
+	"fairbench/internal/runner"
 	"fairbench/internal/sim"
 	"fairbench/internal/testbed"
 	"fairbench/internal/workload"
@@ -132,6 +133,39 @@ func benchCases() map[string]func(b *testing.B) {
 				sp.End("bench", "forward")
 			}
 		},
+		// Parallel sweep executor: one sweep cell per op, serial vs a
+		// worker per core. The cell body is a short simulation-kernel
+		// burst — the pair documents the executor's speedup trajectory on
+		// the machine at hand.
+		"runner-cell-serial":   benchRunnerCells(1),
+		"runner-cell-parallel": benchRunnerCells(runtime.NumCPU()),
+	}
+}
+
+// benchRunnerCells measures runner.Map over CPU-bound cells at the
+// given worker count. Each op is one cell (a 2000-event simulator
+// burst), so serial vs parallel ns_per_op reads directly as the
+// executor's per-cell speedup.
+func benchRunnerCells(jobs int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cell := func(int) (int, error) {
+			s := sim.New()
+			n := 0
+			var tick func()
+			tick = func() {
+				n++
+				if n < 2000 {
+					_ = s.At(s.Now()+1, tick)
+				}
+			}
+			_ = s.At(1, tick)
+			s.RunAll()
+			return n, nil
+		}
+		b.ResetTimer()
+		if _, err := runner.Map(jobs, b.N, cell); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

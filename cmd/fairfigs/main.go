@@ -7,15 +7,18 @@
 // Usage:
 //
 //	fairfigs [-out DIR] [-trial SECONDS] [-seed N] [-quick]
-//	         [-trials K] [-resume] [-exp-timeout DURATION]
+//	         [-trials K] [-jobs N] [-resume] [-exp-timeout DURATION]
+//	         [-run-timeout DURATION]
 //
-// The sweep runs through a crash-safe runner: each experiment is
-// panic-isolated and deadline-bounded, artifacts are written atomically
-// (a killed run never leaves a truncated file), and a manifest
-// checkpoint in the output directory lets -resume skip experiments
-// whose artifacts are already intact. Outputs are deterministic for a
-// given seed, trial length and trial count, so the directory is
-// diffable across runs and machines.
+// The sweep runs through a fault-tolerant parallel runner: experiments
+// fan out across a bounded worker pool (-jobs; 0 = one worker per
+// core), each one panic-isolated and deadline-bounded, artifacts are
+// written atomically (a killed run never leaves a truncated file), and
+// completed experiments land in an fsync'd journal that lets -resume
+// skip exactly the work already done. Results are merged in experiment
+// order, so for a given seed, trial length and trial count the output
+// directory is byte-identical at any -jobs value — diffable across
+// runs, machines and parallelism levels.
 package main
 
 import (
@@ -38,6 +41,16 @@ func main() {
 	}
 }
 
+// fingerprintFor ties a journal/manifest to the option set that
+// produced its artifacts; -resume refuses to mix fingerprints. By
+// contract the fingerprint must not encode -jobs (or any other
+// execution knob that cannot change the bytes): a serial run may be
+// resumed in parallel and vice versa.
+func fingerprintFor(opts fairbench.ExpOptions, quick bool) string {
+	return fmt.Sprintf("v1 trial=%g seed=%d trials=%d quick=%t",
+		opts.TrialSeconds, opts.Seed, opts.Trials, quick)
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fairfigs", flag.ContinueOnError)
 	outDir := fs.String("out", "figures", "output directory")
@@ -45,8 +58,10 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "reduced fidelity (shorter trials, coarser search)")
 	trials := fs.Int("trials", 1, "independently seeded replicate measurements per system")
+	jobs := fs.Int("jobs", 0, "experiments run concurrently (0 = one per core; output is identical at any value)")
 	resume := fs.Bool("resume", false, "skip experiments whose artifacts are already intact in -out")
 	expTimeout := fs.Duration("exp-timeout", 0, "per-experiment wall-clock deadline (0 = none)")
+	runTimeout := fs.Duration("run-timeout", 0, "whole-run wall-clock deadline (0 = none; cut-off experiments resume later)")
 	retries := fs.Int("retries", 1, "extra attempts (with a fresh seed) after a non-finite measurement")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +69,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *expTimeout < 0 {
 		return fmt.Errorf("-exp-timeout must be >= 0, got %v", *expTimeout)
+	}
+	if *runTimeout < 0 {
+		return fmt.Errorf("-run-timeout must be >= 0, got %v", *runTimeout)
 	}
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
@@ -69,10 +87,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	// The fingerprint ties a manifest to the option set that produced
-	// its artifacts; -resume refuses to mix fingerprints.
-	fingerprint := fmt.Sprintf("v1 trial=%g seed=%d trials=%d quick=%t",
-		opts.TrialSeconds, opts.Seed, opts.Trials, *quick)
+	fingerprint := fingerprintFor(opts, *quick)
 
 	var exps []runner.Experiment
 	for _, spec := range fairbench.Experiments() {
@@ -103,9 +118,12 @@ func run(args []string, stdout io.Writer) error {
 	start := time.Now() //fairlint:allow wallclock operator progress reporting, never enters artifacts
 	res, err := runner.Run(exps, runner.Options{
 		OutDir:      *outDir,
+		Jobs:        runner.NormalizeJobs(*jobs),
 		Timeout:     *expTimeout,
+		RunTimeout:  *runTimeout,
 		Retries:     *retries,
 		ShouldRetry: func(err error) bool { return errors.Is(err, measure.ErrNonFinite) },
+		Backoff:     runner.BackoffConfig{Base: 50 * time.Millisecond},
 		Resume:      *resume,
 		Fingerprint: fingerprint,
 		Log:         stdout,
@@ -113,7 +131,8 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "%d artifacts in %v (%d experiments run, %d skipped)\n",
-		res.ArtifactsWritten, time.Since(start).Round(time.Millisecond), res.Ran, res.Skipped) //fairlint:allow wallclock operator progress reporting, never enters artifacts
+	elapsed := time.Since(start).Round(time.Millisecond) //fairlint:allow wallclock operator progress reporting, never enters artifacts
+	fmt.Fprintf(stdout, "%d artifacts in %v (%d experiments run, %d skipped, %d quarantined, %d unfinished)\n",
+		res.ArtifactsWritten, elapsed, res.Ran, res.Skipped, res.Quarantined, res.Unfinished)
 	return res.Err()
 }

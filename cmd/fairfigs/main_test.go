@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"fairbench"
 )
 
 func TestRunQuickGeneratesAllArtifactsAndResumes(t *testing.T) {
@@ -99,10 +101,85 @@ func TestRunQuickGeneratesAllArtifactsAndResumes(t *testing.T) {
 	}
 }
 
+// TestParallelRunMatchesSerialBytes is the command-level acceptance
+// check: the same quick sweep at -jobs=1 and -jobs=8 produces
+// byte-identical artifact directories (journal excluded — it records
+// completion order and is documented as not being a determinism
+// surface).
+func TestParallelRunMatchesSerialBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full artifact regenerations are slow")
+	}
+	serialDir, parallelDir := t.TempDir(), t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-out", serialDir, "-quick", "-jobs", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", parallelDir, "-quick", "-jobs", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(serialDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 10 {
+		t.Fatalf("suspiciously few artifacts: %d", len(entries))
+	}
+	for _, e := range entries {
+		if e.Name() == "journal.jsonl" {
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join(serialDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(parallelDir, e.Name()))
+		if err != nil {
+			t.Errorf("artifact %s missing from parallel run: %v", e.Name(), err)
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("artifact %s differs between -jobs=1 and -jobs=8", e.Name())
+		}
+	}
+}
+
+// TestFingerprintExcludesJobs is the regression guard on the resume
+// contract: the run fingerprint must not encode -jobs (or any other
+// knob that cannot change the bytes), so a serial run can be resumed
+// in parallel and vice versa.
+func TestFingerprintExcludesJobs(t *testing.T) {
+	opts := fairbench.ExpOptions{TrialSeconds: 0.02, Seed: 1, Trials: 3}
+	fp := fingerprintFor(opts, false)
+	if strings.Contains(fp, "jobs") {
+		t.Fatalf("fingerprint %q encodes jobs; serial and parallel runs could not share a resume", fp)
+	}
+	// The knobs that DO change bytes must all be present.
+	for _, frag := range []string{"trial=0.02", "seed=1", "trials=3", "quick=false"} {
+		if !strings.Contains(fp, frag) {
+			t.Errorf("fingerprint %q missing %q", fp, frag)
+		}
+	}
+	// And it must react to each of them.
+	for _, changed := range []string{
+		fingerprintFor(fairbench.ExpOptions{TrialSeconds: 0.01, Seed: 1, Trials: 3}, false),
+		fingerprintFor(fairbench.ExpOptions{TrialSeconds: 0.02, Seed: 2, Trials: 3}, false),
+		fingerprintFor(fairbench.ExpOptions{TrialSeconds: 0.02, Seed: 1, Trials: 4}, false),
+		fingerprintFor(opts, true),
+	} {
+		if changed == fp {
+			t.Errorf("fingerprint did not change with a byte-affecting option: %q", fp)
+		}
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-exp-timeout", "-1s"}, &out); err == nil {
 		t.Error("negative -exp-timeout should fail")
+	}
+	if err := run([]string{"-run-timeout", "-1s"}, &out); err == nil {
+		t.Error("negative -run-timeout should fail")
 	}
 	if err := run([]string{"-trials", "-2"}, &out); err == nil {
 		t.Error("negative -trials should fail")

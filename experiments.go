@@ -13,6 +13,7 @@ import (
 	"fairbench/internal/nf"
 	"fairbench/internal/report"
 	"fairbench/internal/rfc2544"
+	"fairbench/internal/runner"
 	"fairbench/internal/stats"
 	"fairbench/internal/testbed"
 	"fairbench/internal/workload"
@@ -50,6 +51,13 @@ type ExpOptions struct {
 	// CI is the confidence level for bootstrap intervals
 	// (default 0.95).
 	CI float64
+	// Jobs is the number of replicate trials measured concurrently
+	// (<= 1 = serial, the historical behaviour). Trials are seeded
+	// independently via TrialSeed, so results are byte-identical at any
+	// Jobs value; the concurrency itself lives in runner.Map, keeping
+	// the simulation kernel single-threaded. Jobs is an execution knob,
+	// never a determinism input — keep it out of artifact fingerprints.
+	Jobs int
 }
 
 // DefaultExpOptions returns the standard fidelity (20 ms trials).
@@ -256,22 +264,29 @@ func measureOnce(name string, dut rfc2544.DUTFactory, gen rfc2544.GenFactory, o 
 // measureThroughput measures a system over o.Trials independently
 // seeded RFC 2544 searches and returns the replicated result. With a
 // single trial this reduces exactly to the historical behaviour.
+// Trials fan out over runner.Map when o.Jobs > 1: each trial's seed is
+// a pure function of (o.Seed, trial index), so the replicated result —
+// and on failure, the reported error (lowest failing trial) — is
+// identical at any Jobs value.
 func measureThroughput(name string, dut rfc2544.DUTFactory, gen seededGen, o ExpOptions, maxPps float64) (ReplicatedSystem, error) {
 	k := o.Trials
 	if k < 1 {
 		k = 1
 	}
-	trials := make([]MeasuredSystem, 0, k)
-	seeds := make([]uint64, 0, k)
+	seeds := make([]uint64, k)
 	for t := 0; t < k; t++ {
-		seed := TrialSeed(o.Seed, t)
+		seeds[t] = TrialSeed(o.Seed, t)
+	}
+	trials, err := runner.Map(o.Jobs, k, func(t int) (MeasuredSystem, error) {
 		m, err := measureOnce(name, dut,
-			func() (*workload.Generator, error) { return gen(seed) }, o, maxPps)
+			func() (*workload.Generator, error) { return gen(seeds[t]) }, o, maxPps)
 		if err != nil {
-			return ReplicatedSystem{}, fmt.Errorf("trial %d (seed %d): %w", t, seed, err)
+			return MeasuredSystem{}, fmt.Errorf("trial %d (seed %d): %w", t, seeds[t], err)
 		}
-		trials = append(trials, m)
-		seeds = append(seeds, seed)
+		return m, nil
+	})
+	if err != nil {
+		return ReplicatedSystem{}, err
 	}
 	return replicated(trials, seeds), nil
 }
@@ -693,16 +708,19 @@ func RunLatency(o ExpOptions) (LatencyResult, error) {
 		if k < 1 {
 			k = 1
 		}
-		trials := make([]MeasuredSystem, 0, k)
-		seeds := make([]uint64, 0, k)
+		seeds := make([]uint64, k)
 		for t := 0; t < k; t++ {
-			seed := TrialSeed(o.Seed, t)
-			m, err := measureOnceAt(name, mk, pps, seed)
+			seeds[t] = TrialSeed(o.Seed, t)
+		}
+		trials, err := runner.Map(o.Jobs, k, func(t int) (MeasuredSystem, error) {
+			m, err := measureOnceAt(name, mk, pps, seeds[t])
 			if err != nil {
-				return ReplicatedSystem{}, fmt.Errorf("trial %d (seed %d): %w", t, seed, err)
+				return MeasuredSystem{}, fmt.Errorf("trial %d (seed %d): %w", t, seeds[t], err)
 			}
-			trials = append(trials, m)
-			seeds = append(seeds, seed)
+			return m, nil
+		})
+		if err != nil {
+			return ReplicatedSystem{}, err
 		}
 		return replicated(trials, seeds), nil
 	}

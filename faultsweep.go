@@ -9,6 +9,7 @@ import (
 	"fairbench/internal/measure"
 	"fairbench/internal/metric"
 	"fairbench/internal/report"
+	"fairbench/internal/runner"
 	"fairbench/internal/stats"
 	"fairbench/internal/testbed"
 	"fairbench/internal/workload"
@@ -106,22 +107,23 @@ func runFaulted(mk func() (*testbed.Deployment, error), o ExpOptions, spec fault
 }
 
 // runFaultedTrials replicates runFaulted over o.Trials seeded trials
-// and returns the replicates in trial order.
+// and returns the replicates in trial order. Trials fan out over
+// runner.Map when o.Jobs > 1; each trial builds its own deployment and
+// generator, so results are independent of worker count and identical
+// to a serial run.
 func runFaultedTrials(mk func() (*testbed.Deployment, error), o ExpOptions, spec fault.Spec) ([]FaultedMeasurement, error) {
 	k := o.Trials
 	if k < 1 {
 		k = 1
 	}
-	trials := make([]FaultedMeasurement, 0, k)
-	for t := 0; t < k; t++ {
+	return runner.Map(o.Jobs, k, func(t int) (FaultedMeasurement, error) {
 		seed := TrialSeed(o.Seed, t)
 		m, err := runFaulted(mk, o, spec, seed)
 		if err != nil {
-			return nil, fmt.Errorf("trial %d (seed %d): %w", t, seed, err)
+			return FaultedMeasurement{}, fmt.Errorf("trial %d (seed %d): %w", t, seed, err)
 		}
-		trials = append(trials, m)
-	}
-	return trials, nil
+		return m, nil
+	})
 }
 
 // nominalFaulted picks the median-goodput trial (stable sort,

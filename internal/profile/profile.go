@@ -34,6 +34,7 @@ import (
 
 	"fairbench/internal/obs"
 	"fairbench/internal/rfc2544"
+	"fairbench/internal/runner"
 	"fairbench/internal/stats"
 	"fairbench/internal/testbed"
 	"fairbench/internal/workload"
@@ -69,6 +70,10 @@ type Options struct {
 	// SampleCount is how many sampler ticks the bottleneck observation
 	// run spreads over TrialSeconds (default 50).
 	SampleCount int
+	// Jobs is the number of replicated searches run concurrently
+	// (<= 1 = serial). Per-trial seeds are pure functions of (Seed,
+	// trial), so the profile is identical at any Jobs value.
+	Jobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -204,7 +209,8 @@ type Profile struct {
 // ablated variants see identical workloads trial by trial — the deltas
 // are paired.
 func saturations(t testbed.ProfileTarget, ablate []string, o Options) (pps, gbps []float64, err error) {
-	for k := 0; k < o.Trials; k++ {
+	type point struct{ pps, gbps float64 }
+	pts, err := runner.Map(o.Jobs, o.Trials, func(k int) (point, error) {
 		seed := trialSeed(o.Seed, k)
 		res, err := rfc2544.Throughput(
 			func() (*testbed.Deployment, error) { return t.Make(ablate) },
@@ -216,10 +222,16 @@ func saturations(t testbed.ProfileTarget, ablate []string, o Options) (pps, gbps
 				ResolutionFraction: o.ResolutionFraction,
 			})
 		if err != nil {
-			return nil, nil, fmt.Errorf("profile: %s (ablate %v) trial %d: %w", t.System, ablate, k, err)
+			return point{}, fmt.Errorf("profile: %s (ablate %v) trial %d: %w", t.System, ablate, k, err)
 		}
-		pps = append(pps, res.Pps)
-		gbps = append(gbps, res.Gbps)
+		return point{pps: res.Pps, gbps: res.Gbps}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range pts {
+		pps = append(pps, p.pps)
+		gbps = append(gbps, p.gbps)
 	}
 	return pps, gbps, nil
 }

@@ -1,12 +1,26 @@
-// Package runner hardens a sweep of artifact-producing experiments
-// against the ways long runs die: a panicking experiment is isolated
-// and recorded instead of aborting the sweep, a wall-clock deadline
-// bounds each experiment, transient measurement failures are retried
-// with a fresh attempt number (so the caller can derive a new seed),
-// every artifact write is atomic (temp file + rename — a killed run
-// never leaves a truncated SVG or CSV), and a checkpointed manifest
-// lets a re-run with Resume skip experiments whose artifacts already
-// exist intact.
+// Package runner is the fault-tolerant parallel executor for sweeps of
+// artifact-producing experiment cells. It hardens long runs against
+// the ways they die — a panicking cell is isolated and recorded
+// instead of aborting the sweep, per-cell and whole-run wall-clock
+// deadlines bound execution, transient failures are retried with
+// capped-exponential backoff and a fresh attempt number (so the caller
+// derives a fresh, non-aliasing seed), cells that exhaust their
+// retries are quarantined rather than fatal, and a pool that keeps
+// hitting panics shrinks gracefully — while keeping the output
+// deterministic: cells fan out across a bounded worker pool, but
+// results are merged in canonical cell order, every artifact write is
+// atomic (temp file + rename — a killed run never leaves a truncated
+// SVG or CSV), and completed cells land in an append-only fsync'd
+// JSONL journal that lets Resume replay exactly the missing work. The
+// merged output directory is byte-identical at any Jobs value, and a
+// crashed-then-resumed sweep converges to the same bytes as an
+// uninterrupted one; internal/runner/chaos proves both under injected
+// faults.
+//
+// This is also the one package fairlint permits concurrency in: the
+// deterministic simulation kernel stays single-threaded, and the
+// experiment drivers parallelize replicate trials through Map instead
+// of owning goroutines.
 package runner
 
 import (

@@ -1,0 +1,146 @@
+// Package chaos is a seeded fault-injection layer over the runner's
+// cell execution and artifact IO. It exists to prove the executor's
+// invariants rather than to be used in production sweeps: injected
+// panics, stalls past the per-cell deadline, torn (short, non-atomic)
+// artifact writes, and ENOSPC-style write failures are all derived
+// deterministically from a seed and the (cell, attempt) or (path,
+// write-count) being decided, so a failing schedule replays exactly.
+// The invariant tests in this package assert that no injected schedule
+// can lose or duplicate a cell, reuse a trial seed, or leave a
+// crashed-then-resumed sweep different from an uninterrupted run.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"fairbench/internal/runner"
+)
+
+// ErrInjected marks every chaos-originated failure, so tests can
+// configure runner retries with ShouldRetry = errors.Is(err,
+// ErrInjected) semantics and distinguish injected faults from real
+// bugs.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Spec configures the fault mix. Probabilities are per decision: per
+// (cell, attempt) for execution faults, per (path, write) for IO
+// faults. Zero values disable the corresponding fault.
+type Spec struct {
+	// Seed drives every injection decision.
+	Seed uint64
+	// PanicProb injects a panic at the start of a cell attempt.
+	PanicProb float64
+	// StallProb stalls a cell attempt for Stall before running it —
+	// with a per-cell deadline shorter than Stall, this exercises the
+	// deadline/abandonment path.
+	StallProb float64
+	// Stall is the injected stall duration (default 50ms).
+	Stall time.Duration
+	// TornWriteProb makes an artifact write land only a prefix of the
+	// bytes, non-atomically, before failing — the on-disk state a crash
+	// inside a naive writer would leave.
+	TornWriteProb float64
+	// ENOSPCProb fails an artifact write outright, as a full disk
+	// would, leaving the previous file (if any) untouched.
+	ENOSPCProb float64
+}
+
+// Injector derives deterministic fault decisions from a Spec.
+type Injector struct {
+	spec Spec
+
+	mu     sync.Mutex
+	writes map[string]int // per-path write counter for IO decisions
+}
+
+// New returns an injector for the spec.
+func New(spec Spec) *Injector {
+	if spec.Stall <= 0 {
+		spec.Stall = 50 * time.Millisecond
+	}
+	return &Injector{spec: spec, writes: map[string]int{}}
+}
+
+// decide hashes (seed, kind, key, n) into [0, 1) and compares against
+// prob. Purely functional: the same inputs always decide the same way.
+func (in *Injector) decide(kind, key string, n int, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", in.spec.Seed, kind, key, n)
+	// SplitMix64 finalizer over the hash for well-mixed high bits.
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < prob
+}
+
+// WrapCells layers execution faults over every cell: on a decided
+// (cell, attempt), the wrapped Run panics or stalls before delegating
+// to the real cell. Because decisions are attempt-sensitive, a cell
+// that draws a panic on attempt 0 can succeed on a retry — exactly the
+// transient-failure shape the retry machinery exists for.
+func (in *Injector) WrapCells(cells []runner.Experiment) []runner.Experiment {
+	out := make([]runner.Experiment, len(cells))
+	for i, c := range cells {
+		c := c
+		out[i] = runner.Experiment{
+			Name: c.Name,
+			Run: func(attempt int) ([]runner.Artifact, error) {
+				if in.decide("panic", c.Name, attempt, in.spec.PanicProb) {
+					panic(fmt.Sprintf("%v: panic in %s attempt %d", ErrInjected, c.Name, attempt))
+				}
+				if in.decide("stall", c.Name, attempt, in.spec.StallProb) {
+					time.Sleep(in.spec.Stall)
+				}
+				return c.Run(attempt)
+			},
+		}
+	}
+	return out
+}
+
+// ArtifactWriter returns a runner.Options.WriteArtifact hook that
+// injects IO faults. Decisions are keyed by (path, nth write of that
+// path), so a retried write can succeed where the first try was torn.
+func (in *Injector) ArtifactWriter() func(path string, data []byte, perm os.FileMode) error {
+	return func(path string, data []byte, perm os.FileMode) error {
+		in.mu.Lock()
+		n := in.writes[path]
+		in.writes[path] = n + 1
+		in.mu.Unlock()
+		if in.decide("torn", path, n, in.spec.TornWriteProb) {
+			// A torn write is what a crash inside a non-atomic writer
+			// leaves: a prefix of the bytes at the real path. The runner
+			// records the cell as failed, and a retry or resume must
+			// overwrite this wreckage.
+			if err := os.WriteFile(path, data[:len(data)/2], perm); err != nil {
+				return err
+			}
+			return fmt.Errorf("%w: torn write of %s (%d of %d bytes)", ErrInjected, path, len(data)/2, len(data))
+		}
+		if in.decide("enospc", path, n, in.spec.ENOSPCProb) {
+			return fmt.Errorf("%w: no space left on device writing %s", ErrInjected, path)
+		}
+		return runner.WriteFileAtomic(path, data, perm)
+	}
+}
+
+// Retryable reports whether err carries an injected fault. Injected
+// panics reach the runner flattened into the recovered error's text,
+// so identity is checked both ways: errors.Is for wrapped IO faults
+// and a substring match for panics.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrInjected) || strings.Contains(err.Error(), ErrInjected.Error())
+}

@@ -1,0 +1,24 @@
+package runner
+
+import "runtime"
+
+// NormalizeJobs maps a user-facing -jobs flag value onto a sane worker
+// pool width: zero or negative means "use every core", and absurd
+// values are capped at 8x the core count (beyond that the pool only
+// adds scheduler pressure — the cells are CPU-bound simulations).
+// Jobs is an execution knob, never a determinism input: it must stay
+// out of resume fingerprints so a serial run can be resumed in
+// parallel and vice versa.
+func NormalizeJobs(jobs int) int {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	if jobs <= 0 {
+		return n
+	}
+	if max := 8 * n; jobs > max {
+		return max
+	}
+	return jobs
+}

@@ -1,0 +1,149 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The journal is the crash-safety spine of a parallel sweep: an
+// append-only JSONL file whose first line is a header (format tag +
+// options fingerprint) and whose remaining lines are one Record per
+// completed cell, each fsync'd before the worker moves on. A SIGKILL
+// therefore loses at most the cells that were mid-flight — every
+// journaled cell survives, and Resume replays exactly the missing
+// work. The final line of a torn journal (a crash mid-append) is
+// detected and dropped: only newline-terminated lines count.
+//
+// Unlike the manifest — which is merged in canonical cell order after
+// the sweep so it is byte-identical at any Jobs value — the journal
+// records completion order and is NOT a determinism surface.
+
+// JournalName is the journal filename inside the output directory.
+const JournalName = "journal.jsonl"
+
+// journalFormat tags the header line so a journal is self-identifying.
+const journalFormat = "fairbench-runner-journal/v1"
+
+// journalHeader is the first line of the journal.
+type journalHeader struct {
+	Journal     string `json:"journal"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// journal is an open, append-only journal handle. Append is safe for
+// concurrent use by pool workers.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// startJournal atomically (re)writes the journal as header + kept
+// records — via a same-directory temp file and rename, so a crash
+// mid-start never leaves a half-written journal — then reopens it for
+// appending. On resume, kept carries the records of cells being
+// skipped; on a fresh run it is empty.
+func startJournal(path, fingerprint string, kept []Record) (*journal, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(journalHeader{Journal: journalFormat, Fingerprint: fingerprint}); err != nil {
+		return nil, fmt.Errorf("runner: start journal: %w", err)
+	}
+	for _, r := range kept {
+		if err := enc.Encode(r); err != nil {
+			return nil, fmt.Errorf("runner: start journal: %w", err)
+		}
+	}
+	if err := WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+// Append journals one completed cell: marshal, newline-terminate,
+// write, fsync. The fsync is what makes a journaled cell survive a
+// kill -9 an instant later.
+func (j *journal) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runner: journal append: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("runner: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: journal append: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal handle.
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// LoadJournal reads a journal. A missing file returns found=false and
+// no error. Parsing stops — without error — at the first torn or
+// unparsable line: a crash mid-append tears at most the final line,
+// and the cells behind any dropped lines simply re-run on resume
+// (their artifacts, written atomically, are never at risk). Later
+// records win when a cell appears more than once (a resumed run
+// re-journals the cells it re-ran).
+func LoadJournal(path string) (fingerprint string, recs []Record, found bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return "", nil, false, nil
+	}
+	if err != nil {
+		return "", nil, false, fmt.Errorf("runner: load journal: %w", err)
+	}
+	lines := completeLines(data)
+	if len(lines) == 0 {
+		return "", nil, true, nil
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Journal != journalFormat {
+		return "", nil, true, fmt.Errorf("runner: %s is not a %s journal", path, journalFormat)
+	}
+	latest := map[string]int{}
+	for _, line := range lines[1:] {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Experiment == "" {
+			break // torn or corrupt: drop this line and everything after
+		}
+		if i, ok := latest[rec.Experiment]; ok {
+			recs[i] = rec
+			continue
+		}
+		latest[rec.Experiment] = len(recs)
+		recs = append(recs, rec)
+	}
+	return hdr.Fingerprint, recs, true, nil
+}
+
+// completeLines splits data into newline-terminated lines, dropping a
+// trailing fragment with no newline (a torn final append).
+func completeLines(data []byte) [][]byte {
+	var out [][]byte
+	for {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			return out // data (if any) is a torn fragment
+		}
+		if line := bytes.TrimSpace(data[:i]); len(line) > 0 {
+			out = append(out, line)
+		}
+		data = data[i+1:]
+	}
+}

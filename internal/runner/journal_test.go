@@ -1,0 +1,204 @@
+package runner
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	j, err := startJournal(path, "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Experiment: "a", Status: StatusOK, Attempts: 1,
+			Artifacts: []ArtifactRecord{{Name: "a.txt", Bytes: 3}}},
+		{Experiment: "b", Status: StatusFailed, Error: "boom", Attempts: 2},
+		{Experiment: "c", Status: StatusQuarantined, Error: "transient", Attempts: 4},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fp, got, found, err := LoadJournal(path)
+	if err != nil || !found || fp != "fp" {
+		t.Fatalf("LoadJournal = fp %q, found %v, err %v", fp, found, err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("records = %d, want 3", len(got))
+	}
+	for i, r := range recs {
+		if got[i].Experiment != r.Experiment || got[i].Status != r.Status || got[i].Attempts != r.Attempts {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], r)
+		}
+	}
+}
+
+func TestJournalMissingFile(t *testing.T) {
+	_, _, found, err := LoadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || found {
+		t.Errorf("missing journal: found=%v err=%v, want found=false, nil", found, err)
+	}
+}
+
+// TestJournalTornFinalLine: a crash mid-append leaves a final line with
+// no newline; loading drops exactly that fragment and keeps every
+// complete record.
+func TestJournalTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	j, err := startJournal(path, "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Experiment: "a", Status: StatusOK, Attempts: 1})
+	j.Append(Record{Experiment: "b", Status: StatusOK, Attempts: 1})
+	j.Close()
+	// Simulate the torn append: a record fragment with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"experiment":"c","sta`)
+	f.Close()
+
+	_, recs, found, err := LoadJournal(path)
+	if err != nil || !found {
+		t.Fatalf("torn journal should load: found=%v err=%v", found, err)
+	}
+	if len(recs) != 2 || recs[0].Experiment != "a" || recs[1].Experiment != "b" {
+		t.Errorf("records = %+v, want the two complete records", recs)
+	}
+}
+
+// TestJournalCorruptMidLine: garbage in the middle stops parsing there
+// — the records before it are kept, those after are conservatively
+// dropped (resume just re-runs them).
+func TestJournalCorruptMidLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	j, err := startJournal(path, "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Experiment: "a", Status: StatusOK, Attempts: 1})
+	j.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString("!! not json !!\n")
+	f.Close()
+	j2 := &journal{}
+	_ = j2 // (appending after corruption is not modelled; load is what matters)
+	f, _ = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`{"experiment":"b","status":"ok","attempts":1}` + "\n")
+	f.Close()
+
+	_, recs, _, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Experiment != "a" {
+		t.Errorf("records = %+v, want only the pre-corruption record", recs)
+	}
+}
+
+// TestJournalLaterRecordWins: when a cell appears twice (re-run after a
+// failure), the later record replaces the earlier one in place.
+func TestJournalLaterRecordWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	j, err := startJournal(path, "fp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Experiment: "a", Status: StatusFailed, Error: "first try", Attempts: 1})
+	j.Append(Record{Experiment: "b", Status: StatusOK, Attempts: 1})
+	j.Append(Record{Experiment: "a", Status: StatusOK, Attempts: 1})
+	j.Close()
+	_, recs, _, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %+v, want 2 (later record replaces)", recs)
+	}
+	if recs[0].Experiment != "a" || recs[0].Status != StatusOK {
+		t.Errorf("record a = %+v, want later (ok) record in original position", recs[0])
+	}
+}
+
+// TestJournalHeaderRejected: a file that is not a runner journal is an
+// explicit error, never silently treated as records.
+func TestJournalHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	if err := os.WriteFile(path, []byte(`{"something":"else"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := LoadJournal(path)
+	if err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Errorf("foreign file err = %v, want journal-format error", err)
+	}
+}
+
+// TestJournalStartKeepsResumedRecords: startJournal rewrites the file
+// as header + kept records, so the journal never accumulates stale
+// generations across resumes.
+func TestJournalStartKeepsResumedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	kept := []Record{{Experiment: "old", Status: StatusOK, Attempts: 1}}
+	j, err := startJournal(path, "fp", kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Experiment: "new", Status: StatusOK, Attempts: 1})
+	j.Close()
+	fp, recs, _, err := LoadJournal(path)
+	if err != nil || fp != "fp" {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Experiment != "old" || recs[1].Experiment != "new" {
+		t.Errorf("records = %+v, want kept record then appended record", recs)
+	}
+}
+
+// TestResumeFingerprintFromJournal: a journal written under different
+// options refuses to resume with ErrFingerprint.
+func TestResumeFingerprintFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	exps := []Experiment{okExperiment("a", "body")}
+	if _, err := Run(exps, Options{OutDir: dir, Fingerprint: "fp-1"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(exps, Options{OutDir: dir, Resume: true, Fingerprint: "fp-2"})
+	if !errors.Is(err, ErrFingerprint) {
+		t.Errorf("err = %v, want ErrFingerprint", err)
+	}
+}
+
+// TestResumeFromManifestOnlyDir: output directories written before the
+// journal existed (manifest only) still resume.
+func TestResumeFromManifestOnlyDir(t *testing.T) {
+	dir := t.TempDir()
+	runs := 0
+	exps := []Experiment{{Name: "a", Run: func(int) ([]Artifact, error) {
+		runs++
+		return []Artifact{{Name: "a.txt", Body: []byte("body")}}, nil
+	}}}
+	if _, err := Run(exps, Options{OutDir: dir, Fingerprint: "fp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, JournalName)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(exps, Options{OutDir: dir, Resume: true, Fingerprint: "fp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 1 || runs != 1 {
+		t.Errorf("pre-journal dir did not resume from manifest: skipped=%d runs=%d", res.Skipped, runs)
+	}
+}

@@ -27,6 +27,10 @@ const (
 	// StatusFailed: the experiment errored, panicked or exceeded its
 	// deadline; Error holds the cause.
 	StatusFailed Status = "failed"
+	// StatusQuarantined: every granted retry failed with a retryable
+	// error. The sweep completed around the cell and reports it;
+	// Resume re-runs it.
+	StatusQuarantined Status = "quarantined"
 )
 
 // ArtifactRecord names one written artifact and its size.
@@ -125,7 +129,16 @@ func (m Manifest) Failed() []Record {
 // resumed sweep regenerates exactly the missing work.
 func (m Manifest) Completed(experiment, outDir string) bool {
 	rec, ok := m.Lookup(experiment)
-	if !ok || rec.Status != StatusOK {
+	if !ok {
+		return false
+	}
+	return completedRecord(rec, outDir)
+}
+
+// completedRecord reports whether a record represents a completed cell
+// whose artifacts are all intact on disk.
+func completedRecord(rec Record, outDir string) bool {
+	if rec.Status != StatusOK {
 		return false
 	}
 	for _, a := range rec.Artifacts {

@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderIndependentOfJobs(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("v%02d", i), nil }
+	want, err := Map(1, 20, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 4, 16, 100} {
+		got, err := Map(jobs, 20, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("jobs=%d: out[%d] = %q, want %q", jobs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSerial(t *testing.T) {
+	out, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Errorf("n=0: out=%v err=%v, want nil, nil", out, err)
+	}
+	// Serial path fails fast: later indices are never evaluated.
+	var calls int32
+	boom := errors.New("boom")
+	_, err = Map(1, 10, func(i int) (int, error) {
+		atomic.AddInt32(&calls, 1)
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if calls != 3 {
+		t.Errorf("serial Map made %d calls after failure at index 2, want 3", calls)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	// Every odd index fails; the error reported must be index 1's —
+	// the same error a serial run would return.
+	_, err := Map(8, 16, func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, fmt.Errorf("failure at index %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "failure at index 1" {
+		t.Errorf("err = %v, want the lowest failing index's error, unwrapped", err)
+	}
+}
+
+func TestMapPanicIsolation(t *testing.T) {
+	_, err := Map(4, 8, func(i int) (int, error) {
+		if i == 3 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), "index 3") {
+		t.Errorf("panic error should carry the value and index: %v", err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var inFlight, maxSeen int32
+	_, err := Map(3, 50, func(i int) (int, error) {
+		n := atomic.AddInt32(&inFlight, 1)
+		for {
+			m := atomic.LoadInt32(&maxSeen)
+			if n <= m || atomic.CompareAndSwapInt32(&maxSeen, m, n) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > 3 {
+		t.Errorf("max in-flight = %d, want <= jobs=3", maxSeen)
+	}
+}

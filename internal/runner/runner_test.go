@@ -115,15 +115,22 @@ func TestRetryWithNextAttempt(t *testing.T) {
 	if rec.Status != StatusOK || rec.Attempts != 3 {
 		t.Errorf("record = %+v, want ok after 3 attempts", rec)
 	}
-	// Retries exhausted: failure recorded.
+	// Retries exhausted on a retryable error: the cell is quarantined —
+	// the sweep completes and reports it instead of aborting.
 	exps[0].Run = func(int) ([]Artifact, error) { return nil, transient }
 	res, err = Run(exps, Options{OutDir: t.TempDir(), Retries: 1,
 		ShouldRetry: func(err error) bool { return errors.Is(err, transient) }})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec, _ := res.Manifest.Lookup("flaky"); rec.Status != StatusFailed || rec.Attempts != 2 {
-		t.Errorf("exhausted record = %+v, want failed after 2 attempts", rec)
+	if rec, _ := res.Manifest.Lookup("flaky"); rec.Status != StatusQuarantined || rec.Attempts != 2 {
+		t.Errorf("exhausted record = %+v, want quarantined after 2 attempts", rec)
+	}
+	if res.Quarantined != 1 || len(res.QuarantinedExperiments) != 1 {
+		t.Errorf("result = %+v, want 1 quarantined", res)
+	}
+	if res.Err() == nil || !strings.Contains(res.Err().Error(), "quarantined") {
+		t.Errorf("Result.Err should report the quarantine: %v", res.Err())
 	}
 }
 
