@@ -169,9 +169,10 @@ func benchRunnerCells(jobs int) func(b *testing.B) {
 	}
 }
 
-// runBenchJSON measures every case and writes the JSON document.
-func runBenchJSON(stdout io.Writer) error {
-	cases := benchCases()
+// benchJSON measures every case and writes the JSON document to out.
+// Human-readable progress goes to progress only: out may be stdout in a
+// `fairbench -bench-json > baseline.json` pipe and must stay pure JSON.
+func benchJSON(cases map[string]func(b *testing.B), out, progress io.Writer) error {
 	names := make([]string, 0, len(cases))
 	for name := range cases {
 		names = append(names, name)
@@ -184,9 +185,11 @@ func runBenchJSON(stdout io.Writer) error {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
-	for _, name := range names {
+	for i, name := range names {
+		fmt.Fprintf(progress, "bench %d/%d %s...", i+1, len(names), name)
 		r := testing.Benchmark(cases[name])
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		fmt.Fprintf(progress, " %.0f ns/op\n", ns)
 		res := benchResult{
 			Name:        name,
 			NsPerOp:     ns,
@@ -198,10 +201,10 @@ func runBenchJSON(stdout io.Writer) error {
 		}
 		doc.Benchmarks = append(doc.Benchmarks, res)
 	}
-	out, err := json.MarshalIndent(doc, "", "  ")
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintln(stdout, string(out))
+	_, err = fmt.Fprintln(out, string(data))
 	return err
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench-trajectory gate (-compare): diff two -bench-json documents and
+// fail when a case's ns_per_op grew past its threshold. The default is
+// deliberately generous — these are wall-clock numbers from shared CI
+// runners, so the gate is meant to catch step-change regressions (a 2×
+// slowdown from an accidental O(n²) path), not single-digit noise.
+
+// defaultThreshold is the ns_per_op ratio (new/old) above which a case
+// counts as regressed unless overridden per case.
+const defaultThreshold = 1.5
+
+// compareOptions configures runCompare.
+type compareOptions struct {
+	// Threshold applies to every case without an override.
+	Threshold float64
+	// CaseThresholds overrides the threshold per benchmark name.
+	CaseThresholds map[string]float64
+	// WarnOnly reports regressions but returns nil so CI can observe
+	// the trajectory before enforcing it.
+	WarnOnly bool
+}
+
+// parseCaseThresholds parses "name=ratio,name=ratio".
+func parseCaseThresholds(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("case threshold %q: want name=ratio", part)
+		}
+		ratio, err := strconv.ParseFloat(val, 64)
+		if err != nil || ratio <= 0 {
+			return nil, fmt.Errorf("case threshold %q: bad ratio %q", part, val)
+		}
+		out[name] = ratio
+	}
+	return out, nil
+}
+
+// loadBenchDoc reads and validates one -bench-json document.
+func loadBenchDoc(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != "fairbench-bench/v1" {
+		return nil, fmt.Errorf("%s: schema %q is not a fairbench bench document", path, doc.Schema)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+// runCompare diffs old against new and returns a non-nil error (the
+// nonzero exit) when any case regressed and WarnOnly is off. Cases
+// missing from the new document also fail — a silently dropped
+// benchmark is how trajectories go dark.
+func runCompare(stdout io.Writer, oldPath, newPath string, o compareOptions) error {
+	oldDoc, err := loadBenchDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadBenchDoc(newPath)
+	if err != nil {
+		return err
+	}
+	newByName := map[string]benchResult{}
+	for _, b := range newDoc.Benchmarks {
+		newByName[b.Name] = b
+	}
+
+	var regressed, missing []string
+	fmt.Fprintf(stdout, "bench compare: %s -> %s (threshold %.2fx)\n", oldPath, newPath, o.Threshold)
+	for _, old := range oldDoc.Benchmarks {
+		nw, ok := newByName[old.Name]
+		delete(newByName, old.Name)
+		if !ok {
+			missing = append(missing, old.Name)
+			fmt.Fprintf(stdout, "  MISSING %-28s dropped from new document\n", old.Name)
+			continue
+		}
+		limit := o.Threshold
+		if t, ok := o.CaseThresholds[old.Name]; ok {
+			limit = t
+		}
+		ratio := 0.0
+		if old.NsPerOp > 0 {
+			ratio = nw.NsPerOp / old.NsPerOp
+		}
+		verdict := "ok"
+		if ratio > limit {
+			verdict = "REGRESSED"
+			regressed = append(regressed, old.Name)
+		} else if ratio > 0 && ratio < 1/limit {
+			verdict = "improved"
+		}
+		fmt.Fprintf(stdout, "  %-9s %-28s %12.0f -> %12.0f ns/op  %5.2fx (limit %.2fx)\n",
+			verdict, old.Name, old.NsPerOp, nw.NsPerOp, ratio, limit)
+	}
+	extra := make([]string, 0, len(newByName))
+	for name := range newByName {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(stdout, "  new       %-28s (no baseline yet)\n", name)
+	}
+
+	if len(regressed) == 0 && len(missing) == 0 {
+		fmt.Fprintf(stdout, "no regressions across %d cases\n", len(oldDoc.Benchmarks))
+		return nil
+	}
+	msg := fmt.Sprintf("%d regressed, %d missing of %d cases",
+		len(regressed), len(missing), len(oldDoc.Benchmarks))
+	fmt.Fprintln(stdout, msg)
+	if o.WarnOnly {
+		fmt.Fprintln(stdout, "(warn-only: not failing the run)")
+		return nil
+	}
+	return fmt.Errorf("bench regression: %s (regressed: %s)",
+		msg, strings.Join(append(regressed, missing...), ", "))
+}

@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	fairbench [-json] [-example] [-audit] [-bench-json] [spec.json]
+//	fairbench [-json] [-example] [-audit] [spec.json]
+//	fairbench -bench-json [-o FILE]
+//	fairbench -compare [-threshold R] [-case-thresholds ...] [-warn-only] old.json new.json
 //
 // With -example, the built-in §4.2 SmartNIC-firewall spec is evaluated.
 // Otherwise the spec is read from the given file, or from stdin when no
@@ -12,9 +14,15 @@
 //
 // With -bench-json, fairbench instead runs the pipeline's hot-path
 // benchmarks (simulation kernel, packet parse, firewall processing,
-// end-to-end testbed packet, span emission) and prints a JSON baseline
-// document; redirect it to BENCH_baseline.json to (re)establish the
+// end-to-end testbed packet, span emission, runner cells) and emits a
+// JSON baseline document — to the -o file when given, otherwise to
+// stdout. Progress goes to stderr only, so stdout stays pure JSON and
+// `fairbench -bench-json > BENCH_baseline.json` (re)establishes the
 // perf trajectory the ROADMAP tracks.
+//
+// With -compare, fairbench diffs two such documents and exits nonzero
+// when any case regressed past its threshold — the bench-trajectory
+// gate CI runs against BENCH_baseline.json.
 package main
 
 import (
@@ -36,32 +44,72 @@ const exampleSpec = `{
 }`
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "fairbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fairbench", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the text report")
 	example := fs.Bool("example", false, "evaluate the built-in paper §4.2 example spec")
 	audit := fs.Bool("audit", false, "treat the input as an evaluation-design audit spec and run the seven-principle checklist")
-	benchJSON := fs.Bool("bench-json", false, "run the hot-path benchmarks and emit a BENCH baseline JSON document")
-	fs.SetOutput(stdout)
+	benchJSONMode := fs.Bool("bench-json", false, "run the hot-path benchmarks and emit a BENCH baseline JSON document")
+	benchOut := fs.String("o", "", "with -bench-json: write the JSON document to this file instead of stdout")
+	compareMode := fs.Bool("compare", false, "diff two -bench-json documents (old.json new.json) and fail on regression")
+	threshold := fs.Float64("threshold", defaultThreshold,
+		"with -compare: ns_per_op ratio (new/old) above which a case counts as regressed")
+	caseThresholds := fs.String("case-thresholds", "",
+		`with -compare: per-case overrides as "name=ratio,name=ratio"`)
+	warnOnly := fs.Bool("warn-only", false, "with -compare: report regressions but exit zero")
+	fs.SetOutput(stderr)
 	fs.Usage = func() {
-		fmt.Fprintln(stdout, "usage: fairbench [-json] [-example] [-audit] [-bench-json] [spec.json]")
+		fmt.Fprintln(stderr, "usage: fairbench [-json] [-example] [-audit] [spec.json]")
+		fmt.Fprintln(stderr, "       fairbench -bench-json [-o FILE]")
+		fmt.Fprintln(stderr, "       fairbench -compare [-threshold R] [-case-thresholds name=R,...] [-warn-only] old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *benchJSON {
+	if *benchJSONMode && *compareMode {
+		return fmt.Errorf("-bench-json and -compare are mutually exclusive")
+	}
+
+	if *benchJSONMode {
 		if *example || *audit || fs.NArg() > 0 {
 			return fmt.Errorf("-bench-json takes no spec input")
 		}
-		return runBenchJSON(stdout)
+		out := stdout
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		return benchJSON(benchCases(), out, stderr)
+	}
+
+	if *compareMode {
+		if *example || *audit {
+			return fmt.Errorf("-compare takes two bench JSON files, not spec input")
+		}
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two arguments: old.json new.json")
+		}
+		perCase, err := parseCaseThresholds(*caseThresholds)
+		if err != nil {
+			return err
+		}
+		return runCompare(stdout, fs.Arg(0), fs.Arg(1), compareOptions{
+			Threshold:      *threshold,
+			CaseThresholds: perCase,
+			WarnOnly:       *warnOnly,
+		})
 	}
 
 	var data []byte

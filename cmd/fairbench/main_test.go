@@ -11,7 +11,7 @@ import (
 
 func TestRunExample(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-example"}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-example"}, strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -24,7 +24,7 @@ func TestRunExample(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-example", "-json"}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-example", "-json"}, strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	var parsed struct {
@@ -52,7 +52,7 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{path}, strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "proposed-superior") {
@@ -66,7 +66,7 @@ func TestRunFromStdin(t *testing.T) {
 	  "baselines": [{"name": "b", "perf": 10, "cost": 50, "scalable": true}]
 	}`
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(spec), &out); err != nil {
+	if err := run(nil, strings.NewReader(spec), &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Comparison: a") {
@@ -76,10 +76,10 @@ func TestRunFromStdin(t *testing.T) {
 
 func TestRunBadSpec(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader("{nope"), &out); err == nil {
+	if err := run(nil, strings.NewReader("{nope"), &out, &bytes.Buffer{}); err == nil {
 		t.Error("bad spec should fail")
 	}
-	if err := run([]string{"/does/not/exist.json"}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"/does/not/exist.json"}, strings.NewReader(""), &out, &bytes.Buffer{}); err == nil {
 		t.Error("missing file should fail")
 	}
 }
@@ -90,7 +90,7 @@ func TestRunAuditMode(t *testing.T) {
 	  "systems": [{"name": "sys", "components": {"host": {"tco": 10000}}}]
 	}`
 	var out bytes.Buffer
-	if err := run([]string{"-audit"}, strings.NewReader(spec), &out); err != nil {
+	if err := run([]string{"-audit"}, strings.NewReader(spec), &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -106,7 +106,7 @@ func TestBenchJSONRejectsSpecInput(t *testing.T) {
 		{"-bench-json", "-audit"},
 		{"-bench-json", "spec.json"},
 	} {
-		if err := run(args, strings.NewReader(""), &out); err == nil {
+		if err := run(args, strings.NewReader(""), &out, &bytes.Buffer{}); err == nil {
 			t.Errorf("%v: expected an error", args)
 		}
 	}
@@ -117,7 +117,7 @@ func TestBenchJSONEmitsBaseline(t *testing.T) {
 		t.Skip("benchmarks take seconds each")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-bench-json"}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-bench-json"}, strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {

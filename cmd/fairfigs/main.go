@@ -8,7 +8,7 @@
 //
 //	fairfigs [-out DIR] [-trial SECONDS] [-seed N] [-quick]
 //	         [-trials K] [-jobs N] [-resume] [-exp-timeout DURATION]
-//	         [-run-timeout DURATION]
+//	         [-run-timeout DURATION] [-telemetry] [-pprof-dir DIR]
 //
 // The sweep runs through a fault-tolerant parallel runner: experiments
 // fan out across a bounded worker pool (-jobs; 0 = one worker per
@@ -19,6 +19,13 @@
 // order, so for a given seed, trial length and trial count the output
 // directory is byte-identical at any -jobs value — diffable across
 // runs, machines and parallelism levels.
+//
+// With -telemetry, the sweep additionally streams wall-clock telemetry
+// (cell spans, retries, pool samples) to telemetry.jsonl in -out and
+// renders a run summary and cell-execution Gantt chart beside it; with
+// -pprof-dir, CPU and heap profiles bracket the sweep. Neither changes
+// a single artifact byte — telemetry files sit outside the
+// byte-identity surface, exactly like the journal.
 package main
 
 import (
@@ -27,11 +34,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"fairbench"
 	"fairbench/internal/measure"
 	"fairbench/internal/runner"
+	"fairbench/internal/telemetry"
 )
 
 func main() {
@@ -63,6 +73,8 @@ func run(args []string, stdout io.Writer) error {
 	expTimeout := fs.Duration("exp-timeout", 0, "per-experiment wall-clock deadline (0 = none)")
 	runTimeout := fs.Duration("run-timeout", 0, "whole-run wall-clock deadline (0 = none; cut-off experiments resume later)")
 	retries := fs.Int("retries", 1, "extra attempts (with a fresh seed) after a non-finite measurement")
+	telemetryOn := fs.Bool("telemetry", false, "stream wall-clock telemetry to telemetry.jsonl in -out and render summary + Gantt")
+	pprofDir := fs.String("pprof-dir", "", "write CPU and heap profiles bracketing the sweep into this directory")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,10 +127,54 @@ func run(args []string, stdout io.Writer) error {
 		})
 	}
 
+	normJobs := runner.NormalizeJobs(*jobs)
+
+	// Observability taps: both are read-only and sit outside the
+	// byte-identity surface — attaching them cannot change an artifact.
+	var observer runner.Observer
+	var rec *telemetry.Recorder
+	stopSampler := func() {}
+	if *telemetryOn {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		r, cerr := telemetry.Create(filepath.Join(*outDir, telemetry.FileName), telemetry.Options{
+			Label:       "fairfigs sweep",
+			Fingerprint: fingerprint,
+			Jobs:        normJobs,
+			Cells:       len(exps),
+		})
+		if cerr != nil {
+			return cerr
+		}
+		rec = r
+		observer = rec.RunnerObserver()
+		stop := rec.StartSampler(0)
+		stopped := false
+		stopSampler = func() {
+			if !stopped {
+				stopped = true
+				stop()
+			}
+		}
+		defer stopSampler()
+	}
+	if *pprofDir != "" {
+		stopProfiles, err := telemetry.CaptureProfiles(*pprofDir)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if perr := stopProfiles(); perr != nil {
+				fmt.Fprintln(stdout, "pprof:", perr)
+			}
+		}()
+	}
+
 	start := time.Now() //fairlint:allow wallclock operator progress reporting, never enters artifacts
 	res, err := runner.Run(exps, runner.Options{
 		OutDir:      *outDir,
-		Jobs:        runner.NormalizeJobs(*jobs),
+		Jobs:        normJobs,
 		Timeout:     *expTimeout,
 		RunTimeout:  *runTimeout,
 		Retries:     *retries,
@@ -127,6 +183,7 @@ func run(args []string, stdout io.Writer) error {
 		Resume:      *resume,
 		Fingerprint: fingerprint,
 		Log:         stdout,
+		Observer:    observer,
 	})
 	if err != nil {
 		return err
@@ -134,5 +191,24 @@ func run(args []string, stdout io.Writer) error {
 	elapsed := time.Since(start).Round(time.Millisecond) //fairlint:allow wallclock operator progress reporting, never enters artifacts
 	fmt.Fprintf(stdout, "%d artifacts in %v (%d experiments run, %d skipped, %d quarantined, %d unfinished)\n",
 		res.ArtifactsWritten, elapsed, res.Ran, res.Skipped, res.Quarantined, res.Unfinished)
+	if slow := res.SlowestCells(3); len(slow) > 0 {
+		parts := make([]string, len(slow))
+		for i, cw := range slow {
+			parts[i] = fmt.Sprintf("%s %.0f ms", cw.Experiment, cw.WallMS)
+		}
+		fmt.Fprintf(stdout, "slowest cells: %s\n", strings.Join(parts, ", "))
+	}
+	if rec != nil {
+		stopSampler()
+		// A telemetry write failure degrades observability, never the run.
+		if terr := rec.Close(); terr != nil {
+			fmt.Fprintln(stdout, "telemetry:", terr)
+		} else if sum, terr := telemetry.WriteArtifacts(filepath.Join(*outDir, telemetry.FileName)); terr != nil {
+			fmt.Fprintln(stdout, "telemetry:", terr)
+		} else {
+			fmt.Fprintf(stdout, "telemetry: %s, %s (pool utilization %.0f%%)\n",
+				telemetry.SummaryName, telemetry.GanttName, sum.UtilizationPct)
+		}
+	}
 	return res.Err()
 }

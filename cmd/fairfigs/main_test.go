@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fairbench"
+	"fairbench/internal/telemetry"
 )
 
 func TestRunQuickGeneratesAllArtifactsAndResumes(t *testing.T) {
@@ -102,20 +103,26 @@ func TestRunQuickGeneratesAllArtifactsAndResumes(t *testing.T) {
 }
 
 // TestParallelRunMatchesSerialBytes is the command-level acceptance
-// check: the same quick sweep at -jobs=1 and -jobs=8 produces
-// byte-identical artifact directories (journal excluded — it records
-// completion order and is documented as not being a determinism
-// surface).
+// check: the same quick sweep at -jobs=1 (bare) and -jobs=8 (with
+// telemetry and pprof capture attached) produces byte-identical
+// artifact directories. The journal and the telemetry files are
+// excluded — both record wall-clock execution history and are
+// documented as not being determinism surfaces. Running the parallel
+// leg fully observed is the meta-test that attaching the observability
+// layer cannot change a single output byte.
 func TestParallelRunMatchesSerialBytes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full artifact regenerations are slow")
 	}
 	serialDir, parallelDir := t.TempDir(), t.TempDir()
+	pprofDir := t.TempDir()
 	var out bytes.Buffer
 	if err := run([]string{"-out", serialDir, "-quick", "-jobs", "1"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-out", parallelDir, "-quick", "-jobs", "8"}, &out); err != nil {
+	out.Reset()
+	if err := run([]string{"-out", parallelDir, "-quick", "-jobs", "8",
+		"-telemetry", "-pprof-dir", pprofDir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(serialDir)
@@ -126,7 +133,7 @@ func TestParallelRunMatchesSerialBytes(t *testing.T) {
 		t.Fatalf("suspiciously few artifacts: %d", len(entries))
 	}
 	for _, e := range entries {
-		if e.Name() == "journal.jsonl" {
+		if e.Name() == "journal.jsonl" || telemetry.IsTelemetryFile(e.Name()) {
 			continue
 		}
 		want, err := os.ReadFile(filepath.Join(serialDir, e.Name()))
@@ -140,6 +147,27 @@ func TestParallelRunMatchesSerialBytes(t *testing.T) {
 		}
 		if !bytes.Equal(want, got) {
 			t.Errorf("artifact %s differs between -jobs=1 and -jobs=8", e.Name())
+		}
+	}
+
+	// The observed run produced its telemetry artifacts and profiles
+	// beside (not inside) the deterministic surface.
+	for _, name := range []string{telemetry.FileName, telemetry.SummaryName, telemetry.GanttName} {
+		info, err := os.Stat(filepath.Join(parallelDir, name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("telemetry artifact %s: %v", name, err)
+		}
+	}
+	for _, name := range []string{telemetry.CPUProfileName, telemetry.HeapProfileName} {
+		info, err := os.Stat(filepath.Join(pprofDir, name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("profile %s: %v", name, err)
+		}
+	}
+	got := out.String()
+	for _, frag := range []string{"slowest cells:", "pool utilization"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("observed-run summary missing %q:\n%s", frag, got)
 		}
 	}
 }

@@ -13,6 +13,7 @@
 //	        [-faults SPEC]
 //	        [-record FILE -count N] [-replay FILE -stretch X]
 //	        [-trace FILE [-sample-every DT] [-metrics FILE]]
+//	        [-telemetry FILE] [-pprof-dir DIR]
 //
 // With -search, an RFC 2544 binary search for the zero-loss throughput
 // replaces the single fixed-rate run. The -impair-* flags inject
@@ -55,6 +56,12 @@
 // utilization/queue/power samples) and prints the per-stage latency
 // breakdown. -metrics additionally exports the metrics registry
 // snapshot (CSV, or JSONL when the file name ends in .jsonl).
+//
+// -trace records the simulation's virtual-time events and is part of
+// the deterministic output; -telemetry instead records wall-clock
+// telemetry about the process itself (the run span, goroutine/heap
+// samples) and -pprof-dir captures CPU/heap profiles bracketing the
+// run. Both compose with every run mode and change no measured output.
 package main
 
 import (
@@ -84,7 +91,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("fairsim", flag.ContinueOnError)
 	system := fs.String("system", "host", "deployment: host, smartnic, switch, or fpga")
 	cores := fs.Int("cores", 1, "host dataplane cores (host and switch systems)")
@@ -109,9 +116,22 @@ func run(args []string, stdout io.Writer) error {
 	trace := fs.String("trace", "", "write a JSONL observability trace of the run to this file")
 	sampleEvery := fs.Float64("sample-every", 0, "periodic device sampling interval in simulated seconds (requires -trace)")
 	metrics := fs.String("metrics", "", "export the metrics snapshot to this file (requires -trace; .jsonl for JSONL, CSV otherwise)")
+	telemetryPath := fs.String("telemetry", "", "write wall-clock telemetry (run span, runtime samples) to this JSONL file")
+	pprofDir := fs.String("pprof-dir", "", "write CPU and heap profiles bracketing the run into this directory")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Wall-clock observability (distinct from -trace, which records the
+	// simulation's virtual-time events): a run span, runtime samples and
+	// optional profiles, none of which touch the measured output.
+	if *telemetryPath != "" || *pprofDir != "" {
+		finish, terr := attachTelemetry(*telemetryPath, *pprofDir)
+		if terr != nil {
+			return terr
+		}
+		defer finish(&err)
 	}
 
 	// Reject contradictory mode combinations up front: each of -record,

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairbench/internal/telemetry"
+)
+
+// TestRunWithTelemetry brackets a short fixed-rate run with -telemetry
+// and -pprof-dir and checks the stream: one "fairsim" span that ended
+// ok, at least one runtime sample, and both profiles on disk — while
+// the measured output on stdout is unchanged.
+func TestRunWithTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	telPath := filepath.Join(dir, telemetry.FileName)
+	pprofDir := filepath.Join(dir, "pprof")
+
+	var plain, observed bytes.Buffer
+	args := []string{"-system", "host", "-pps", "1e6", "-seconds", "0.005"}
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-telemetry", telPath, "-pprof-dir", pprofDir), &observed); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != observed.String() {
+		t.Error("attaching telemetry changed the measured output")
+	}
+
+	log, err := telemetry.ParseFile(telPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header.Label != "fairsim" {
+		t.Errorf("header = %+v", log.Header)
+	}
+	var span *telemetry.Event
+	samples := 0
+	for i, ev := range log.Events {
+		switch ev.Ev {
+		case telemetry.EvCellFinish:
+			span = &log.Events[i]
+		case telemetry.EvSample:
+			samples++
+		}
+	}
+	if span == nil || span.Cell != "fairsim" || span.Status != "ok" {
+		t.Errorf("fairsim span = %+v", span)
+	}
+	if samples == 0 {
+		t.Error("no runtime samples (the stop function takes a final one)")
+	}
+
+	for _, name := range []string{telemetry.CPUProfileName, telemetry.HeapProfileName} {
+		info, err := os.Stat(filepath.Join(pprofDir, name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("profile %s: %v", name, err)
+		}
+	}
+}
+
+// A failing run must close the span with status "failed" and still
+// produce a parseable stream.
+func TestRunTelemetrySpanRecordsFailure(t *testing.T) {
+	dir := t.TempDir()
+	telPath := filepath.Join(dir, "telemetry.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-system", "nope", "-telemetry", telPath}, &out)
+	if err == nil {
+		t.Fatal("unknown system must fail")
+	}
+	log, perr := telemetry.ParseFile(telPath)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	for _, ev := range log.Events {
+		if ev.Ev == telemetry.EvCellFinish && ev.Cell == "fairsim" {
+			if ev.Status != "failed" || !strings.Contains(ev.Error, "unknown system") {
+				t.Errorf("span = %+v", ev)
+			}
+			return
+		}
+	}
+	t.Errorf("no fairsim span in %+v", log.Events)
+}
+
+func TestRunTelemetryBadPaths(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-telemetry", filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")}, &out); err == nil {
+		t.Error("uncreatable telemetry file must fail")
+	}
+	if err := run([]string{"-pprof-dir", string([]byte{0})}, &out); err == nil {
+		t.Error("uncreatable pprof dir must fail")
+	}
+}

@@ -104,11 +104,13 @@ type Config struct {
 	SimPackages []string
 }
 
-// DefaultWallclockAllow exempts only the experiment runner, whose
-// deadline/retry machinery legitimately needs wall time. Command
-// binaries are deliberately NOT allowlisted: each wall-clock use there
-// must carry a //fairlint:allow with a recorded reason.
-func DefaultWallclockAllow() []string { return []string{"internal/runner"} }
+// DefaultWallclockAllow exempts the experiment runner, whose
+// deadline/retry machinery legitimately needs wall time, and the
+// telemetry package, whose entire purpose is recording wall-clock
+// execution history outside the determinism surface. Command binaries
+// are deliberately NOT allowlisted: each wall-clock use there must
+// carry a //fairlint:allow with a recorded reason.
+func DefaultWallclockAllow() []string { return []string{"internal/runner", "internal/telemetry"} }
 
 // DefaultSimPackages is the set of packages whose event loops replay
 // deterministically and therefore must not spawn goroutines, use

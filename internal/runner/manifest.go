@@ -39,12 +39,17 @@ type ArtifactRecord struct {
 	Bytes int    `json:"bytes"`
 }
 
-// Record is the manifest entry of one experiment.
+// Record is the journal/manifest entry of one experiment. WallMS is
+// the cell's wall-clock duration across all attempts; it is journaled
+// (so a resumed run can still say how long its completed cells took)
+// but stripped before the record enters the manifest, which must stay
+// byte-identical across runs and Jobs values.
 type Record struct {
 	Experiment string           `json:"experiment"`
 	Status     Status           `json:"status"`
 	Error      string           `json:"error,omitempty"`
 	Attempts   int              `json:"attempts"`
+	WallMS     float64          `json:"wall_ms,omitempty"`
 	Artifacts  []ArtifactRecord `json:"artifacts,omitempty"`
 }
 

@@ -77,6 +77,11 @@ type Options struct {
 	Fingerprint string
 	// Log receives one line per experiment (nil discards).
 	Log io.Writer
+	// Observer receives wall-clock state transitions (cell start,
+	// attempt errors, retry waits, finish, resume skips, run-deadline
+	// cutoffs, pool shrinks) for telemetry. Nil means no observation;
+	// an Observer never changes execution or output bytes.
+	Observer Observer
 	// ShrinkAfter retires one pool worker after this many consecutive
 	// panicking cells (0 = default of 3). A run of panics usually means
 	// a systemic resource problem that more parallelism makes worse;
@@ -100,7 +105,13 @@ type Result struct {
 	Failed, Quarantined, Unfinished int
 	ArtifactsWritten                int
 	// WorkersShrunk counts pool workers retired by repeated panics.
-	WorkersShrunk          int
+	WorkersShrunk int
+	// CellWalls records the wall-clock duration of every completed
+	// cell, including cells a resumed run skipped (their durations come
+	// from the journal). Durations are operator-facing only: they are
+	// stripped from the manifest so its bytes stay identical across
+	// runs and Jobs values.
+	CellWalls              []CellWall
 	ManifestPath           string
 	JournalPath            string
 	FailedExperiments      []string
@@ -157,6 +168,9 @@ func Run(experiments []Experiment, o Options) (Result, error) {
 			logMu.Unlock()
 		}
 	}
+	if o.Observer == nil {
+		o.Observer = NopObserver{}
+	}
 
 	manifestPath := filepath.Join(o.OutDir, ManifestName)
 	journalPath := filepath.Join(o.OutDir, JournalName)
@@ -175,6 +189,7 @@ func Run(experiments []Experiment, o Options) (Result, error) {
 		if o.Resume && completedRecord(prior[exp.Name], o.OutDir) {
 			skipped[exp.Name] = true
 			res.Skipped++
+			o.Observer.CellResumeSkip(exp.Name)
 			logf("skip %s (resume: complete)", exp.Name)
 			continue
 		}
@@ -201,31 +216,41 @@ func Run(experiments []Experiment, o Options) (Result, error) {
 	// Merge in canonical cell order: the manifest (and therefore the
 	// full artifact directory) is byte-identical at any Jobs value.
 	manifest := Manifest{Version: manifestVersion, Fingerprint: o.Fingerprint}
+	// Wall durations are collected for the operator summary and then
+	// stripped from the records entering the manifest: the manifest is
+	// a determinism surface (byte-identical at any Jobs value, across
+	// runs and machines), and wall time is not.
 	ri := 0
 	for _, exp := range experiments {
+		var rec Record
 		if skipped[exp.Name] {
-			manifest.Upsert(prior[exp.Name])
-			continue
+			rec = prior[exp.Name]
+		} else {
+			r := results[ri]
+			ri++
+			if r == nil { // run deadline cut this cell off before it started
+				res.Unfinished++
+				res.UnfinishedExperiments = append(res.UnfinishedExperiments, exp.Name)
+				continue
+			}
+			rec = *r
+			res.Ran++
+			switch rec.Status {
+			case StatusFailed:
+				res.Failed++
+				res.FailedExperiments = append(res.FailedExperiments, exp.Name)
+			case StatusQuarantined:
+				res.Quarantined++
+				res.QuarantinedExperiments = append(res.QuarantinedExperiments, exp.Name)
+			default:
+				res.ArtifactsWritten += len(rec.Artifacts)
+			}
 		}
-		rec := results[ri]
-		ri++
-		if rec == nil { // run deadline cut this cell off before it started
-			res.Unfinished++
-			res.UnfinishedExperiments = append(res.UnfinishedExperiments, exp.Name)
-			continue
+		if rec.WallMS > 0 {
+			res.CellWalls = append(res.CellWalls, CellWall{Experiment: rec.Experiment, WallMS: rec.WallMS})
+			rec.WallMS = 0
 		}
-		res.Ran++
-		switch rec.Status {
-		case StatusFailed:
-			res.Failed++
-			res.FailedExperiments = append(res.FailedExperiments, exp.Name)
-		case StatusQuarantined:
-			res.Quarantined++
-			res.QuarantinedExperiments = append(res.QuarantinedExperiments, exp.Name)
-		default:
-			res.ArtifactsWritten += len(rec.Artifacts)
-		}
-		manifest.Upsert(*rec)
+		manifest.Upsert(rec)
 	}
 	if err := manifest.Save(manifestPath); err != nil {
 		return res, err
@@ -293,7 +318,7 @@ func runPool(pending []Experiment, o Options, j *journal, logf func(string, ...a
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
@@ -303,10 +328,11 @@ func runPool(pending []Experiment, o Options, j *journal, logf func(string, ...a
 				if !deadline.IsZero() && !time.Now().Before(deadline) {
 					// Leave the cell unstarted (results[i] stays nil) so a
 					// later Resume runs exactly the missing work.
+					o.Observer.CellCutoff(pending[i].Name)
 					logf("SKIP %s: %v", pending[i].Name, ErrRunDeadline)
 					continue
 				}
-				rec, runErr := runCell(pending[i], o, deadline)
+				rec, runErr := runCell(pending[i], o, deadline, worker)
 				results[i] = &rec
 				if err := j.Append(rec); err != nil {
 					logf("journal: %v", err)
@@ -334,6 +360,7 @@ func runPool(pending []Experiment, o Options, j *journal, logf func(string, ...a
 						res.WorkersShrunk++ // res is only read after wg.Wait
 						remaining := workers
 						poolMu.Unlock()
+						o.Observer.PoolShrink(remaining)
 						logf("pool: retiring a worker after repeated panics (%d remain)", remaining)
 						return
 					}
@@ -342,7 +369,7 @@ func runPool(pending []Experiment, o Options, j *journal, logf func(string, ...a
 				}
 				poolMu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return results
@@ -351,15 +378,24 @@ func runPool(pending []Experiment, o Options, j *journal, logf func(string, ...a
 // runCell executes one cell: retries with backoff, panic isolation,
 // the per-cell deadline, and atomic artifact writes. The returned
 // error is the cell's final error (nil on success) — the record is
-// what lands in the journal.
-func runCell(exp Experiment, o Options, deadline time.Time) (Record, error) {
+// what lands in the journal, wall duration included (the journal logs
+// completion order and is not a determinism surface; the manifest
+// strips the duration).
+func runCell(exp Experiment, o Options, deadline time.Time, worker int) (Record, error) {
 	writeArtifact := o.WriteArtifact
 	if writeArtifact == nil {
 		writeArtifact = WriteFileAtomic
 	}
+	start := time.Now()
 	rec := Record{Experiment: exp.Name, Status: StatusOK}
+	finish := func(err error) (Record, error) {
+		rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		o.Observer.CellFinish(exp.Name, worker, rec)
+		return rec, err
+	}
 	for attempt := 0; ; attempt++ {
 		rec.Attempts = attempt + 1
+		o.Observer.CellStart(exp.Name, worker, attempt)
 		artifacts, err := callGuarded(exp, attempt, o.Timeout)
 		if err == nil {
 			// Artifact IO is part of the attempt: a torn write or ENOSPC
@@ -375,13 +411,14 @@ func runCell(exp Experiment, o Options, deadline time.Time) (Record, error) {
 			}
 			if err == nil {
 				rec.Artifacts = arecs
-				return rec, nil
+				return finish(nil)
 			}
 		}
+		o.Observer.CellAttemptError(exp.Name, worker, attempt, err)
 		retryable := o.ShouldRetry != nil && o.ShouldRetry(err) && !errors.Is(err, ErrDeadline)
 		if !retryable {
 			rec.Status, rec.Error = StatusFailed, err.Error()
-			return rec, err
+			return finish(err)
 		}
 		if attempt >= o.Retries {
 			// Retry budget exhausted on a retryable error: quarantine the
@@ -392,12 +429,14 @@ func runCell(exp Experiment, o Options, deadline time.Time) (Record, error) {
 			} else {
 				rec.Status, rec.Error = StatusFailed, err.Error()
 			}
-			return rec, err
+			return finish(err)
 		}
-		if !sleepBackoff(o.Backoff.delay(exp.Name, attempt), deadline) {
+		wait := o.Backoff.delay(exp.Name, attempt)
+		o.Observer.CellRetryWait(exp.Name, worker, attempt, wait)
+		if !sleepBackoff(wait, deadline) {
 			rec.Status = StatusFailed
 			rec.Error = fmt.Sprintf("%v during retry backoff (last error: %v)", ErrRunDeadline, err)
-			return rec, ErrRunDeadline
+			return finish(ErrRunDeadline)
 		}
 	}
 }

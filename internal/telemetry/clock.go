@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the wall clock so telemetry unit tests can drive
+// time deterministically instead of sleeping. Production code uses
+// Wall; tests use a FakeClock advanced by hand.
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall is the real wall clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced Clock for tests. The zero value is
+// unusable; construct with NewFakeClock.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a FakeClock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{t: start}
+}
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the fake time forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

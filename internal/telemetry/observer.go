@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"errors"
+	"time"
+
+	"fairbench/internal/runner"
+)
+
+// RunnerObserver adapts the Recorder to the runner's instrumentation
+// seam: every pool state transition becomes one stream event, and the
+// recorder's occupancy gauges (busy workers, cells done) track the
+// pool for the sampler. Attach with runner.Options.Observer.
+func (r *Recorder) RunnerObserver() runner.Observer {
+	return runnerObserver{r}
+}
+
+type runnerObserver struct {
+	r *Recorder
+}
+
+func (o runnerObserver) CellStart(cell string, worker, attempt int) {
+	if attempt == 0 {
+		o.r.busy.Add(1)
+	}
+	o.r.Event(Event{Ev: EvCellStart, Cell: cell, Worker: worker, Attempt: attempt})
+}
+
+func (o runnerObserver) CellAttemptError(cell string, worker, attempt int, err error) {
+	o.r.Event(Event{
+		Ev:      EvCellError,
+		Cell:    cell,
+		Worker:  worker,
+		Attempt: attempt,
+		Kind:    errorKind(err),
+		Error:   errString(err),
+	})
+}
+
+func (o runnerObserver) CellRetryWait(cell string, worker, attempt int, wait time.Duration) {
+	o.r.Event(Event{
+		Ev:      EvRetryWait,
+		Cell:    cell,
+		Worker:  worker,
+		Attempt: attempt,
+		WaitMS:  float64(wait) / float64(time.Millisecond),
+	})
+}
+
+func (o runnerObserver) CellFinish(cell string, worker int, rec runner.Record) {
+	o.r.busy.Add(-1)
+	o.r.cellsDone.Add(1)
+	o.r.Event(Event{
+		Ev:        EvCellFinish,
+		Cell:      cell,
+		Worker:    worker,
+		Status:    string(rec.Status),
+		Attempts:  rec.Attempts,
+		WallMS:    rec.WallMS,
+		Artifacts: len(rec.Artifacts),
+		Error:     firstLine(rec.Error),
+	})
+}
+
+func (o runnerObserver) CellResumeSkip(cell string) {
+	o.r.Event(Event{Ev: EvResumeSkip, Cell: cell, Worker: -1})
+}
+
+func (o runnerObserver) CellCutoff(cell string) {
+	o.r.Event(Event{Ev: EvCutoff, Cell: cell, Worker: -1})
+}
+
+func (o runnerObserver) PoolShrink(remaining int) {
+	o.r.Event(Event{Ev: EvPoolShrink, Worker: -1, Workers: remaining})
+}
+
+// errorKind classifies an attempt error for the stream: panics and
+// per-cell deadline overruns are first-class shapes the reporter
+// aggregates; everything else is a plain error.
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, runner.ErrPanic):
+		return "panic"
+	case errors.Is(err, runner.ErrDeadline):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return firstLine(err.Error())
+}
+
+// firstLine truncates multi-line errors (panic stacks) to their first
+// line: the stream is an index into what happened, not a crash dump.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

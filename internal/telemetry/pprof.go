@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CPUProfileName and HeapProfileName are the files CaptureProfiles
+// writes into its directory.
+const (
+	CPUProfileName  = "cpu.pprof"
+	HeapProfileName = "heap.pprof"
+)
+
+// CaptureProfiles brackets a run with pprof capture: it starts a CPU
+// profile in dir immediately and returns a stop function that ends the
+// CPU profile and writes a heap profile (after a GC, so the heap
+// figure is live bytes, not garbage). Profiles are diagnostic
+// artifacts like the telemetry stream — machine-dependent, never part
+// of the byte-identity surface.
+func CaptureProfiles(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: pprof dir: %w", err)
+	}
+	cpu, err := os.Create(filepath.Join(dir, CPUProfileName))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		cerr := cpu.Close()
+		heap, err := os.Create(filepath.Join(dir, HeapProfileName))
+		if err != nil {
+			return fmt.Errorf("telemetry: heap profile: %w", err)
+		}
+		defer heap.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			return fmt.Errorf("telemetry: heap profile: %w", err)
+		}
+		if cerr != nil {
+			return fmt.Errorf("telemetry: cpu profile: %w", cerr)
+		}
+		return nil
+	}, nil
+}

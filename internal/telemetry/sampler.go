@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"time"
+)
+
+// The sampler records what the harness costs while it runs: goroutine
+// count, heap in use, cumulative GC pause, worker-pool occupancy, and
+// the value and rate of every registered counter. Samples are events
+// in the same stream as the cell transitions, so the reporter can
+// line "the pool was 40% idle here" up against "these three cells
+// were retrying".
+
+// Sample takes one sample now and appends it to the stream. The
+// background loop started by StartSampler calls this on every tick;
+// tests call it directly so nothing sleeps.
+func (r *Recorder) Sample() {
+	goroutines, heap, pauseMS, numGC := runtimeSample()
+	ev := Event{
+		Ev:         EvSample,
+		Goroutines: goroutines,
+		HeapBytes:  heap,
+		GCPauseMS:  pauseMS,
+		NumGC:      numGC,
+		Busy:       int(r.busy.Load()),
+		CellsDone:  int(r.cellsDone.Load()),
+	}
+
+	r.countersMu.Lock()
+	if len(r.counters) > 0 {
+		now := r.clock.Now()
+		names := make([]string, 0, len(r.counters))
+		for name := range r.counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		counts := make(map[string]int64, len(names))
+		for _, name := range names {
+			counts[name] = r.counters[name].Value()
+		}
+		ev.Counters = counts
+		if r.lastSample.valid {
+			if dt := now.Sub(r.lastSample.t).Seconds(); dt > 0 {
+				rates := make(map[string]float64, len(names))
+				for _, name := range names {
+					rates[name] = float64(counts[name]-r.lastSample.counts[name]) / dt
+				}
+				ev.Rates = rates
+			}
+		}
+		r.lastSample.t = now
+		r.lastSample.valid = true
+		r.lastSample.counts = counts
+	}
+	r.countersMu.Unlock()
+
+	r.Event(ev)
+}
+
+// StartSampler samples every period on a background goroutine until
+// the returned stop function is called; stop takes one final sample so
+// short runs still get at least one. Periods <= 0 default to 100ms.
+func (r *Recorder) StartSampler(period time.Duration) (stop func()) {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				r.Sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		r.Sample()
+	}
+}
+
+// runtimeSample reads the process-level figures. Goroutine count and
+// heap-in-use come from runtime/metrics (the sampling-friendly API);
+// cumulative GC pause falls back to MemStats, which is the only stable
+// home of the pause total.
+func runtimeSample() (goroutines int, heap uint64, pauseMS float64, numGC uint32) {
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+	}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		goroutines = int(samples[0].Value.Uint64())
+	} else {
+		goroutines = runtime.NumGoroutine()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		heap = samples[1].Value.Uint64()
+	} else {
+		heap = ms.HeapInuse
+	}
+	return goroutines, heap, float64(ms.PauseTotalNs) / 1e6, ms.NumGC
+}
