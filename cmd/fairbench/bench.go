@@ -139,6 +139,66 @@ func benchCases() map[string]func(b *testing.B) {
 		// the machine at hand.
 		"runner-cell-serial":   benchRunnerCells(1),
 		"runner-cell-parallel": benchRunnerCells(runtime.NumCPU()),
+		// Bounded conntrack under table pressure: one packet per op
+		// against a table a quarter the size of the flow population, so
+		// every policy runs its degradation path (refusal or eviction)
+		// continuously, not just its fast path.
+		"nf-conntrack-evict-none":   benchConntrack(nf.EvictNone),
+		"nf-conntrack-evict-random": benchConntrack(nf.EvictRandom),
+		"nf-conntrack-evict-lru":    benchConntrack(nf.EvictLRU),
+		// Internet-scale scenario generation: one drawn packet per op
+		// from a Zipf population with SYN flood and churn active — the
+		// overload experiments' per-packet generation cost.
+		"workload-scenario-gen": func(b *testing.B) {
+			sc, err := workload.ParseScenario(
+				"zipf:flows=1000000,skew=1.1,tcp=0.3;synflood:rate=0.3;churn:life=5ms;seed:1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := workload.NewScenarioGen(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const dt = 2.5e-7 // 4 Mpps arrival spacing drives the churn clock
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := g.NextAt(float64(i) * dt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+// benchConntrack measures the stateful firewall with the given eviction
+// policy at a 4:1 flow-to-table ratio. Each op is one packet.
+func benchConntrack(policy nf.EvictPolicy) func(b *testing.B) {
+	return func(b *testing.B) {
+		const flows, entries = 4096, 1024
+		ct := nf.NewConntrackWith("bench", nf.NewLinearMatcher(
+			testbed.FirewallRules(testbed.DefaultFillerRules)),
+			nf.ConntrackConfig{MaxEntries: entries, Policy: policy, Seed: 1})
+		g, err := workload.NewGenerator(workload.Spec{Flows: flows, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parsers := make([]*packet.Parser, flows)
+		for i := range parsers {
+			pk, err := g.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			parsers[i] = packet.NewParser()
+			if err := parsers[i].Parse(pk.Frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ct.Process(parsers[i%flows], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -26,9 +26,15 @@ type compareOptions struct {
 	Threshold float64
 	// CaseThresholds overrides the threshold per benchmark name.
 	CaseThresholds map[string]float64
-	// WarnOnly reports regressions but returns nil so CI can observe
-	// the trajectory before enforcing it.
+	// WarnOnly reports ns_per_op regressions but returns nil so CI can
+	// observe the trajectory before enforcing it. Alloc regressions are
+	// NOT covered: allocation counts are deterministic on a given Go
+	// version, so they fail the gate even under WarnOnly.
 	WarnOnly bool
+	// MaxAllocGrowth is the allowed absolute growth in allocs_per_op
+	// (default 0: any new allocation on a hot path fails). Negative
+	// disables the alloc gate.
+	MaxAllocGrowth int64
 }
 
 // parseCaseThresholds parses "name=ratio,name=ratio".
@@ -73,7 +79,12 @@ func loadBenchDoc(path string) (*benchDoc, error) {
 // runCompare diffs old against new and returns a non-nil error (the
 // nonzero exit) when any case regressed and WarnOnly is off. Cases
 // missing from the new document also fail — a silently dropped
-// benchmark is how trajectories go dark.
+// benchmark is how trajectories go dark. allocs_per_op is gated
+// separately and strictly: allocation counts don't wobble with runner
+// load the way wall-clock does, so growth past MaxAllocGrowth fails
+// even under WarnOnly — but only when both documents come from the
+// same Go version (the compiler's escape analysis moves counts across
+// releases).
 func runCompare(stdout io.Writer, oldPath, newPath string, o compareOptions) error {
 	oldDoc, err := loadBenchDoc(oldPath)
 	if err != nil {
@@ -87,8 +98,13 @@ func runCompare(stdout io.Writer, oldPath, newPath string, o compareOptions) err
 	for _, b := range newDoc.Benchmarks {
 		newByName[b.Name] = b
 	}
+	gateAllocs := o.MaxAllocGrowth >= 0 && oldDoc.GoVersion == newDoc.GoVersion
+	if o.MaxAllocGrowth >= 0 && !gateAllocs {
+		fmt.Fprintf(stdout, "alloc gate off: baseline is %s, new document is %s (counts not comparable)\n",
+			oldDoc.GoVersion, newDoc.GoVersion)
+	}
 
-	var regressed, missing []string
+	var regressed, missing, allocGrew []string
 	fmt.Fprintf(stdout, "bench compare: %s -> %s (threshold %.2fx)\n", oldPath, newPath, o.Threshold)
 	for _, old := range oldDoc.Benchmarks {
 		nw, ok := newByName[old.Name]
@@ -115,6 +131,11 @@ func runCompare(stdout io.Writer, oldPath, newPath string, o compareOptions) err
 		}
 		fmt.Fprintf(stdout, "  %-9s %-28s %12.0f -> %12.0f ns/op  %5.2fx (limit %.2fx)\n",
 			verdict, old.Name, old.NsPerOp, nw.NsPerOp, ratio, limit)
+		if gateAllocs && nw.AllocsPerOp > old.AllocsPerOp+o.MaxAllocGrowth {
+			allocGrew = append(allocGrew, old.Name)
+			fmt.Fprintf(stdout, "  ALLOCS    %-28s %12d -> %12d allocs/op (limit +%d)\n",
+				old.Name, old.AllocsPerOp, nw.AllocsPerOp, o.MaxAllocGrowth)
+		}
 	}
 	extra := make([]string, 0, len(newByName))
 	for name := range newByName {
@@ -125,13 +146,18 @@ func runCompare(stdout io.Writer, oldPath, newPath string, o compareOptions) err
 		fmt.Fprintf(stdout, "  new       %-28s (no baseline yet)\n", name)
 	}
 
-	if len(regressed) == 0 && len(missing) == 0 {
+	if len(regressed) == 0 && len(missing) == 0 && len(allocGrew) == 0 {
 		fmt.Fprintf(stdout, "no regressions across %d cases\n", len(oldDoc.Benchmarks))
 		return nil
 	}
-	msg := fmt.Sprintf("%d regressed, %d missing of %d cases",
-		len(regressed), len(missing), len(oldDoc.Benchmarks))
+	msg := fmt.Sprintf("%d regressed, %d missing, %d alloc growth of %d cases",
+		len(regressed), len(missing), len(allocGrew), len(oldDoc.Benchmarks))
 	fmt.Fprintln(stdout, msg)
+	if len(allocGrew) > 0 {
+		// Deterministic on this Go version: warn-only never applies.
+		return fmt.Errorf("alloc regression: %s allocate more per op than the baseline allows",
+			strings.Join(allocGrew, ", "))
+	}
 	if o.WarnOnly {
 		fmt.Fprintln(stdout, "(warn-only: not failing the run)")
 		return nil

@@ -203,3 +203,63 @@ func TestBenchJSONKeepsStdoutPure(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchDoc(t, dir, "old.json", []benchResult{
+		{Name: "packet-parse", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "obs-span", NsPerOp: 300, AllocsPerOp: 6},
+	})
+	nw := writeBenchDoc(t, dir, "new.json", []benchResult{
+		{Name: "packet-parse", NsPerOp: 100, AllocsPerOp: 2}, // new allocation on a zero-alloc path
+		{Name: "obs-span", NsPerOp: 300, AllocsPerOp: 6},
+	})
+	// Alloc growth fails the gate even under -warn-only: counts are
+	// deterministic, so there is no runner noise to forgive.
+	var out bytes.Buffer
+	err := run([]string{"-compare", "-warn-only", old, nw}, strings.NewReader(""), &out, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("alloc growth must exit nonzero despite -warn-only")
+	}
+	if !strings.Contains(err.Error(), "packet-parse") {
+		t.Errorf("error does not name the case: %v", err)
+	}
+	if !strings.Contains(out.String(), "ALLOCS") {
+		t.Errorf("report missing the ALLOCS line:\n%s", out.String())
+	}
+	// A loosened budget absorbs the growth; a negative one disables the
+	// gate entirely.
+	for _, budget := range []string{"2", "-1"} {
+		var out bytes.Buffer
+		if err := run([]string{"-compare", "-max-alloc-growth", budget, old, nw},
+			strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {
+			t.Errorf("-max-alloc-growth %s should pass: %v\n%s", budget, err, out.String())
+		}
+	}
+}
+
+func TestCompareAllocGateNeedsMatchingGoVersion(t *testing.T) {
+	// Escape analysis moves allocation counts across Go releases, so
+	// the alloc gate only arms when both documents share a version.
+	dir := t.TempDir()
+	doc := benchDoc{Schema: "fairbench-bench/v1", GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64",
+		Benchmarks: []benchResult{{Name: "packet-parse", NsPerOp: 100, AllocsPerOp: 0}}}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(old, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nw := writeBenchDoc(t, dir, "new.json", []benchResult{
+		{Name: "packet-parse", NsPerOp: 100, AllocsPerOp: 5},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-compare", old, nw}, strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {
+		t.Fatalf("cross-version alloc growth must not fail: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "alloc gate off") {
+		t.Errorf("report missing the cross-version notice:\n%s", out.String())
+	}
+}

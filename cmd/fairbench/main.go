@@ -6,7 +6,8 @@
 //
 //	fairbench [-json] [-example] [-audit] [spec.json]
 //	fairbench -bench-json [-o FILE]
-//	fairbench -compare [-threshold R] [-case-thresholds ...] [-warn-only] old.json new.json
+//	fairbench -compare [-threshold R] [-case-thresholds ...] [-warn-only]
+//	          [-max-alloc-growth N] old.json new.json
 //
 // With -example, the built-in §4.2 SmartNIC-firewall spec is evaluated.
 // Otherwise the spec is read from the given file, or from stdin when no
@@ -22,7 +23,11 @@
 //
 // With -compare, fairbench diffs two such documents and exits nonzero
 // when any case regressed past its threshold — the bench-trajectory
-// gate CI runs against BENCH_baseline.json.
+// gate CI runs against BENCH_baseline.json. allocs_per_op is gated
+// strictly: counts are deterministic within a Go version, so any
+// growth past -max-alloc-growth (default 0) fails even under
+// -warn-only; the gate relaxes to a notice when the two documents were
+// measured on different Go versions.
 package main
 
 import (
@@ -62,12 +67,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		"with -compare: ns_per_op ratio (new/old) above which a case counts as regressed")
 	caseThresholds := fs.String("case-thresholds", "",
 		`with -compare: per-case overrides as "name=ratio,name=ratio"`)
-	warnOnly := fs.Bool("warn-only", false, "with -compare: report regressions but exit zero")
+	warnOnly := fs.Bool("warn-only", false, "with -compare: report ns_per_op regressions but exit zero (alloc growth still fails)")
+	maxAllocGrowth := fs.Int64("max-alloc-growth", 0,
+		"with -compare: allowed allocs_per_op growth per case (negative disables the alloc gate)")
 	fs.SetOutput(stderr)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: fairbench [-json] [-example] [-audit] [spec.json]")
 		fmt.Fprintln(stderr, "       fairbench -bench-json [-o FILE]")
-		fmt.Fprintln(stderr, "       fairbench -compare [-threshold R] [-case-thresholds name=R,...] [-warn-only] old.json new.json")
+		fmt.Fprintln(stderr, "       fairbench -compare [-threshold R] [-case-thresholds name=R,...] [-warn-only] [-max-alloc-growth N] old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +116,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			Threshold:      *threshold,
 			CaseThresholds: perCase,
 			WarnOnly:       *warnOnly,
+			MaxAllocGrowth: *maxAllocGrowth,
 		})
 	}
 

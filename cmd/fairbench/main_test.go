@@ -133,8 +133,8 @@ func TestBenchJSONEmitsBaseline(t *testing.T) {
 	if doc.Schema != "fairbench-bench/v1" {
 		t.Errorf("schema = %q", doc.Schema)
 	}
-	if len(doc.Benchmarks) != 7 {
-		t.Fatalf("want 7 benchmarks, got %d", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 11 {
+		t.Fatalf("want 11 benchmarks, got %d", len(doc.Benchmarks))
 	}
 	for i, b := range doc.Benchmarks {
 		if b.NsPerOp <= 0 {

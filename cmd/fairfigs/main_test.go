@@ -32,6 +32,8 @@ func TestRunQuickGeneratesAllArtifactsAndResumes(t *testing.T) {
 		"burst.txt", "burst-latency.svg", "ablation-stateful.txt",
 		"operating-curves.txt", "operating-curves.csv",
 		"fault-sweep.txt", "fault-sweep.csv", "sensitivity.txt",
+		"state-pressure.txt", "state-pressure.csv",
+		"state-pressure-curves.csv", "state-pressure-flipmap.csv",
 		"frontier.txt", "frontier.svg", "pricing-release.json",
 		"manifest.json",
 	}

@@ -10,7 +10,7 @@
 //	        [-seconds S] [-attack FRAC] [-poisson] [-seed N] [-search]
 //	        [-profile] [-trials K] [-ci LEVEL]
 //	        [-impair-drop P] [-impair-corrupt P] [-impair-dup P]
-//	        [-faults SPEC]
+//	        [-faults SPEC] [-scenario SPEC]
 //	        [-record FILE -count N] [-replay FILE -stretch X]
 //	        [-trace FILE [-sample-every DT] [-metrics FILE]]
 //	        [-telemetry FILE] [-pprof-dir DIR]
@@ -50,6 +50,22 @@
 // trace) and with -replay (faults strike the replayed traffic; burst
 // clauses are ignored because replay pacing is the trace's).
 //
+// With -scenario, the run drives an internet-scale overload scenario —
+// Zipf flow populations up to 10^7 concurrent flows, diurnal load
+// curves, flash crowds, SYN-flood and amplification blends, flow churn
+// — through a deployment with bounded, eviction-managed state tables,
+// and reports per-class goodput vs throughput, collateral damage and
+// table pressure alongside the measurement. The spec grammar is
+// internal/workload's, e.g.:
+//
+//	fairsim -system smartnic -scenario 'zipf:flows=1000000,skew=1.1;synflood:rate=0.5;churn:life=10ms'
+//	fairsim -system host -cores 2 -scenario 'flashcrowd:at=10ms,for=20ms,peak=3;seed:7'
+//
+// Scenario runs support host and smartnic systems (the bounded-table
+// deployments). The spec owns the workload shape, so -scenario
+// conflicts with -attack/-flows and with the other run modes; -poisson
+// and -pps still select arrivals and offered load.
+//
 // With -trace, the run writes a deterministic JSONL observability trace
 // (per-packet lifecycle spans with per-stage latency attribution,
 // kernel progress, and — with -sample-every — periodic per-device
@@ -75,6 +91,8 @@ import (
 	"fairbench"
 	"fairbench/internal/fault"
 	"fairbench/internal/hw"
+	"fairbench/internal/measure"
+	"fairbench/internal/nf"
 	"fairbench/internal/obs"
 	"fairbench/internal/profile"
 	"fairbench/internal/report"
@@ -109,6 +127,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	corruptProb := fs.Float64("impair-corrupt", 0, "ingress byte-corruption probability")
 	dupProb := fs.Float64("impair-dup", 0, "ingress duplication probability")
 	faults := fs.String("faults", "", "fault spec, e.g. 'outage:dev=smartnic,at=10ms,for=10ms;linkloss:prob=0.01'")
+	scenario := fs.String("scenario", "", "overload scenario spec, e.g. 'zipf:flows=1000000,skew=1.1;synflood:rate=0.5;churn:life=10ms'")
 	record := fs.String("record", "", "record a trace of the workload to this file and exit")
 	count := fs.Int("count", 10000, "packets to record with -record")
 	replay := fs.String("replay", "", "replay a recorded trace through the deployment instead of generating traffic")
@@ -220,6 +239,8 @@ func run(args []string, stdout io.Writer) (err error) {
 			return fmt.Errorf("-profile and -faults are mutually exclusive (the profile measures the healthy pipeline)")
 		case *trace != "":
 			return fmt.Errorf("-profile and -trace are mutually exclusive")
+		case *scenario != "":
+			return fmt.Errorf("-profile and -scenario are mutually exclusive (each owns the run's workload)")
 		case *dropProb != 0 || *corruptProb != 0 || *dupProb != 0:
 			return fmt.Errorf("-profile and -impair-* are mutually exclusive")
 		}
@@ -252,6 +273,41 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 		printProfile(stdout, p)
 		return nil
+	}
+
+	// -scenario drives an internet-scale overload scenario through a
+	// bounded-state deployment. The spec owns the workload shape and
+	// state metering is the run's observability, so the other run modes
+	// and workload-shaping flags conflict.
+	if *scenario != "" {
+		switch {
+		case *search:
+			return fmt.Errorf("-scenario and -search are mutually exclusive (the scenario shapes its own offered load over time)")
+		case *record != "" || *replay != "":
+			return fmt.Errorf("-scenario cannot be combined with -record/-replay (the scenario generates its own traffic)")
+		case *faults != "":
+			return fmt.Errorf("-scenario and -faults are mutually exclusive (overload is the scenario's failure mode)")
+		case *trace != "":
+			return fmt.Errorf("-scenario and -trace are mutually exclusive (state metering is the scenario run's observability)")
+		case *dropProb != 0 || *corruptProb != 0 || *dupProb != 0:
+			return fmt.Errorf("-scenario and -impair-* are mutually exclusive")
+		}
+		var workloadFlags []string
+		seedSet := false
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "attack", "flows":
+				workloadFlags = append(workloadFlags, "-"+f.Name)
+			case "seed":
+				seedSet = true
+			}
+		})
+		if len(workloadFlags) > 0 {
+			return fmt.Errorf("the scenario spec owns the workload shape; drop %s (use zipf:flows=,attack= clauses)",
+				strings.Join(workloadFlags, ", "))
+		}
+		return runScenario(stdout, *scenario, *system, *cores, *pps, *seconds,
+			*poisson, *seed, seedSet, *trials, *ci)
 	}
 
 	mkDeployment := func() (*testbed.Deployment, error) {
@@ -458,6 +514,93 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	printResult(stdout, res)
 	return finish()
+}
+
+// runScenario drives an overload scenario through a bounded-state
+// deployment and prints the measurement with its state-pressure
+// accounting. trials >= 2 replicates over independently seeded runs.
+// An explicitly-set -seed overrides the spec's seed clause.
+func runScenario(w io.Writer, spec, system string, cores int, pps, seconds float64,
+	poisson bool, seed uint64, seedSet bool, trials int, ci float64) error {
+	sc, err := workload.ParseScenario(spec)
+	if err != nil {
+		return fmt.Errorf("-scenario: %w", err)
+	}
+	if seedSet {
+		sc.Seed = seed
+	}
+	mk := func(s uint64) (*testbed.Deployment, []measure.StateProbe, error) {
+		// The production conntrack posture: a bounded table with LRU
+		// eviction and SYN cookies (fairfigs' state-pressure experiment
+		// sweeps the alternatives).
+		ct := nf.ConntrackConfig{MaxEntries: 1 << 16, Policy: nf.EvictLRU, SYNCookies: true, Seed: s}
+		switch system {
+		case "host":
+			return testbed.StatePressureHost(fmt.Sprintf("fw-host-%dcore-ct", cores), cores, ct)
+		case "smartnic":
+			return testbed.StatePressureSmartNIC("fw-smartnic-ct", testbed.ScenarioSmartNIC, ct)
+		default:
+			return nil, nil, fmt.Errorf("-scenario supports the bounded-table host and smartnic systems, not %q", system)
+		}
+	}
+	var arrival workload.Arrival = workload.CBR{}
+	if poisson {
+		arrival = workload.Poisson{}
+	}
+	results := make([]testbed.Result, 0, trials)
+	for t := 0; t < trials; t++ {
+		s := fairbench.TrialSeed(sc.Seed, t)
+		d, probes, err := mk(s)
+		if err != nil {
+			return err
+		}
+		trial := sc
+		trial.Seed = s
+		sg, err := workload.NewScenarioGen(trial)
+		if err != nil {
+			return err
+		}
+		sm := measure.NewStateMeter()
+		for _, p := range probes {
+			sm.AddProbe(p)
+		}
+		res, err := d.RunScenario(sg, arrival, pps, seconds, sm)
+		if err != nil {
+			return fmt.Errorf("trial %d (seed %d): %w", t, s, err)
+		}
+		if t == 0 {
+			fmt.Fprintf(w, "scenario: %s\n", trial.String())
+			printResult(w, res)
+			sum, err := sm.Summarize(seconds)
+			if err != nil {
+				return err
+			}
+			printStatePressure(w, sum, testbed.ConntrackStatsOf(d))
+		}
+		results = append(results, res)
+	}
+	if trials > 1 {
+		return printReplication(w, results, nil, ci, sc.Seed)
+	}
+	return nil
+}
+
+// printStatePressure renders the per-class goodput accounting, the
+// state-table pressure and the conntrack attribution of a scenario run.
+func printStatePressure(w io.Writer, s measure.StateSummary, ct nf.ConntrackStats) {
+	fmt.Fprintf(w, "\nstate pressure: %s\n", s)
+	t := report.NewTable("Per-class delivery", "Class", "Offered", "Delivered", "Dropped", "Evict losses")
+	for _, c := range s.Classes {
+		name := c.Class
+		if name == "" {
+			name = "legit"
+		}
+		t.AddRowf("%s|%d|%d|%d|%d", name, c.Offered, c.Delivered, c.Dropped, c.Lost)
+	}
+	fmt.Fprint(w, t.Text())
+	fmt.Fprintf(w, "conntrack: %d new flows, %d fast path, %d overflow drops, %d evicted (%d established), %d cookies sent, %d validated\n",
+		ct.NewFlows, ct.FastPath, ct.OverflowDrops, ct.Evicted, ct.EvictedEstablished,
+		ct.SYNCookiesSent, ct.CookieBypassed)
 }
 
 // printProfile renders a saturation-delta profile: the saturation

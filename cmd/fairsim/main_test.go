@@ -486,3 +486,93 @@ func TestProfileFlagConflicts(t *testing.T) {
 		}
 	}
 }
+
+func TestRunScenarioSmartNIC(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-system", "smartnic", "-poisson", "-pps", "6e6", "-seconds", "0.01",
+		"-scenario", "zipf:flows=50000,skew=1.1,tcp=0.3;synflood:rate=0.5;churn:life=5ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"scenario: zipf:flows=50000", "seed:1", // canonical spec echoed with defaults applied
+		"fw-smartnic-ct", "state pressure", "collateral",
+		"offload-table", "conntrack", "Per-class delivery", "synflood",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunScenarioHostSeedPrecedence(t *testing.T) {
+	// An explicitly-set -seed overrides the spec's seed clause; the
+	// echoed canonical spec shows the seed that actually ran.
+	var out bytes.Buffer
+	err := run([]string{"-system", "host", "-cores", "2", "-pps", "2e6", "-seconds", "0.005",
+		"-seed", "9", "-scenario", "zipf:flows=4096;flashcrowd:at=1ms,for=2ms,peak=3;seed:4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"seed:9", "fw-host-2core-ct", "flashcrowd:at=0.001"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunScenarioReplicated(t *testing.T) {
+	args := []string{"-system", "host", "-pps", "2e6", "-seconds", "0.004", "-trials", "3",
+		"-scenario", "zipf:flows=4096,tcp=0.3;synflood:rate=0.4"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{"Replication over 3 seeded trials", "state pressure"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if got != again.String() {
+		t.Error("replicated scenario run is not deterministic across invocations")
+	}
+}
+
+func TestScenarioFlagConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"scenario+search", []string{"-scenario", "zipf:flows=1024", "-search"}, "mutually exclusive"},
+		{"scenario+record", []string{"-scenario", "zipf:flows=1024", "-record", "a"}, "-record/-replay"},
+		{"scenario+replay", []string{"-scenario", "zipf:flows=1024", "-replay", "a"}, "-record/-replay"},
+		{"scenario+faults", []string{"-scenario", "zipf:flows=1024", "-faults", "linkloss:prob=0.1"}, "mutually exclusive"},
+		{"scenario+trace", []string{"-scenario", "zipf:flows=1024", "-trace", "t.jsonl"}, "mutually exclusive"},
+		{"scenario+impair", []string{"-scenario", "zipf:flows=1024", "-impair-drop", "0.1"}, "-impair-*"},
+		{"scenario+profile", []string{"-scenario", "zipf:flows=1024", "-profile"}, "mutually exclusive"},
+		{"scenario+flows", []string{"-scenario", "zipf:flows=1024", "-flows", "99"}, "owns the workload shape"},
+		{"scenario+attack", []string{"-scenario", "zipf:flows=1024", "-attack", "0.5"}, "owns the workload shape"},
+		{"scenario+switch", []string{"-scenario", "zipf:flows=1024", "-system", "switch"}, "host and smartnic"},
+		{"bad spec", []string{"-scenario", "meteor:rate=1"}, "-scenario"},
+		{"empty spec clause", []string{"-scenario", "zipf:flows=banana"}, "-scenario"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		err := run(c.args, &out)
+		if err == nil {
+			t.Errorf("%s: expected an error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}

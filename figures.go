@@ -183,6 +183,17 @@ func Experiments() []ExperimentSpec {
 				"fault-sweep.txt", FaultSweepReport(fs),
 				"fault-sweep.csv", FaultSweepCSV(fs)), nil
 		}},
+		{Name: "state-pressure", Render: func(o ExpOptions) ([]Artifact, error) {
+			sp, err := RunStatePressure(o)
+			if err != nil {
+				return nil, err
+			}
+			return texts(
+				"state-pressure.txt", StatePressureReport(sp),
+				"state-pressure.csv", StatePressureCSV(sp),
+				"state-pressure-curves.csv", StatePressureCurvesCSV(sp),
+				"state-pressure-flipmap.csv", StatePressureFlipCSV(sp)), nil
+		}},
 		{Name: "bottleneck-profile", Render: func(o ExpOptions) ([]Artifact, error) {
 			bp, err := RunBottleneckProfile(o)
 			if err != nil {

@@ -137,6 +137,16 @@ type FPGAConfig struct {
 	// LUTsUsed and LUTsTotal describe resource consumption (defaults
 	// 180k of 1.2M).
 	LUTsUsed, LUTsTotal float64
+	// FlowTableSize, when positive, bounds the on-chip flow table the
+	// pipeline learns flows into (BRAM is scarce). Packets of unknown
+	// flows that find the table full are punted to the host slow path
+	// via SubmitFlow — overflow degrades throughput, it does not drop.
+	// Zero keeps the historical flow-agnostic pipeline.
+	FlowTableSize int
+	// TableEvict selects the full-table policy; EvictSeed drives
+	// EvictRandom.
+	TableEvict nf.EvictPolicy
+	EvictSeed  uint64
 }
 
 func (c FPGAConfig) withDefaults() FPGAConfig {
@@ -174,15 +184,23 @@ type FPGA struct {
 
 	nextFree sim.Time
 	busy     float64
+	table    *nf.FlowTable
 	// Served, Overflowed and Unavailable count pipeline outcomes:
 	// served packets, ingress-buffer overflows, and packets arriving
 	// while the pipeline was down.
 	Served, Overflowed, Unavailable uint64
+	// TablePunts counts packets of unknown flows punted to the host
+	// because the flow table was full (SubmitFlow with a bound).
+	TablePunts uint64
 }
 
 // NewFPGA builds an FPGA accelerator attached to simulator s.
 func NewFPGA(name string, s *sim.Sim, cfg FPGAConfig) *FPGA {
-	return &FPGA{name: name, cfg: cfg.withDefaults(), s: s}
+	f := &FPGA{name: name, cfg: cfg.withDefaults(), s: s}
+	if f.cfg.FlowTableSize > 0 {
+		f.table = nf.NewFlowTable(f.cfg.FlowTableSize, f.cfg.TableEvict, f.cfg.EvictSeed)
+	}
+	return f
 }
 
 // Name implements Device.
@@ -228,6 +246,42 @@ func (f *FPGA) Submit(done func(Sojourn)) bool {
 		panic(err)
 	}
 	return true
+}
+
+// SubmitFlow offers a packet of a known five-tuple to the pipeline,
+// learning flows into the bounded on-chip table first. With no table
+// bound configured it is exactly Submit. Unknown flows that find the
+// table full are punted (returns false) — the overflow-to-slow-path
+// semantics, distinct from the ingress-buffer Overflowed outcome.
+func (f *FPGA) SubmitFlow(ft packet.FiveTuple, done func(Sojourn)) bool {
+	if f.table != nil && !f.Down() {
+		if _, known := f.table.Get(ft); !known {
+			if _, _, _, ok := f.table.Put(ft, 1); !ok {
+				f.TablePunts++
+				return false
+			}
+		} else {
+			f.table.Touch(ft)
+		}
+	}
+	return f.Submit(done)
+}
+
+// FlowTableLen returns the number of learned flows (0 when unbounded).
+func (f *FPGA) FlowTableLen() int {
+	if f.table == nil {
+		return 0
+	}
+	return f.table.Len()
+}
+
+// TableEvicted returns flow-table evictions (0 when unbounded or
+// EvictNone).
+func (f *FPGA) TableEvicted() uint64 {
+	if f.table == nil {
+		return 0
+	}
+	return f.table.Evictions
 }
 
 // BusySeconds returns the pipeline's cumulative busy time (sampler

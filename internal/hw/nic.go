@@ -3,6 +3,7 @@ package hw
 import (
 	"fairbench/internal/cost"
 	"fairbench/internal/metric"
+	"fairbench/internal/nf"
 	"fairbench/internal/packet"
 	"fairbench/internal/sim"
 )
@@ -63,6 +64,13 @@ type SmartNICConfig struct {
 	// FlowTableSize caps the offload table; new flows beyond it stay
 	// on the host (default 65536).
 	FlowTableSize int
+	// TableEvict selects what a full offload table does with new
+	// installs: refuse them (EvictNone, the conventional hardware
+	// behaviour — entries are sticky until an outage resets them) or
+	// evict per policy so the table tracks the live flow set.
+	TableEvict nf.EvictPolicy
+	// EvictSeed drives eviction randomness (EvictRandom only).
+	EvictSeed uint64
 	// OffloadLatencySeconds is the fixed fast-path latency (default
 	// 2 µs).
 	OffloadLatencySeconds float64
@@ -99,7 +107,7 @@ type SmartNIC struct {
 	cfg  SmartNICConfig
 	s    *sim.Sim
 
-	table    map[packet.FiveTuple]bool
+	table    *nf.FlowTable
 	nextFree sim.Time
 	busy     float64
 	// Offloaded, ToHost and TableMisses count dispatch outcomes.
@@ -107,11 +115,21 @@ type SmartNIC struct {
 	// Saturated counts fast-path packets that found the NIC dataplane
 	// busy beyond its queue and were punted to the host.
 	Saturated uint64
+	// InstallRefused counts offload installs rejected by a full table
+	// (EvictNone) — the overflow-punt regime's tell-tale: those flows
+	// ride the host slow path for their whole lifetime.
+	InstallRefused uint64
 }
 
 // NewSmartNIC builds a SmartNIC attached to simulator s.
 func NewSmartNIC(name string, s *sim.Sim, cfg SmartNICConfig) *SmartNIC {
-	return &SmartNIC{name: name, cfg: cfg.withDefaults(), s: s, table: make(map[packet.FiveTuple]bool)}
+	cfg = cfg.withDefaults()
+	return &SmartNIC{
+		name:  name,
+		cfg:   cfg,
+		s:     s,
+		table: nf.NewFlowTable(cfg.FlowTableSize, cfg.TableEvict, cfg.EvictSeed),
+	}
 }
 
 // Name implements Device.
@@ -121,22 +139,30 @@ func (sn *SmartNIC) Name() string { return sn.name }
 func (sn *SmartNIC) Config() SmartNICConfig { return sn.cfg }
 
 // FlowTableLen returns the number of installed offload entries.
-func (sn *SmartNIC) FlowTableLen() int { return len(sn.table) }
+func (sn *SmartNIC) FlowTableLen() int { return sn.table.Len() }
+
+// Evicted returns the number of offload entries evicted to admit new
+// installs (always 0 under EvictNone).
+func (sn *SmartNIC) Evicted() uint64 { return sn.table.Evictions }
 
 // Install adds a flow to the offload table (called by the host after
-// slow-path processing). It returns false when the table is full or the
-// NIC is down (a dead device cannot accept entries).
+// slow-path processing). It returns false when the NIC is down (a dead
+// device cannot accept entries) or the table is full and the eviction
+// policy refuses to make room.
 func (sn *SmartNIC) Install(ft packet.FiveTuple) bool {
-	if sn.Down() || len(sn.table) >= sn.cfg.FlowTableSize {
+	if sn.Down() {
 		return false
 	}
-	sn.table[ft] = true
+	if _, _, _, ok := sn.table.Put(ft, 1); !ok {
+		sn.InstallRefused++
+		return false
+	}
 	return true
 }
 
 // ResetTable wipes the offload table — the state loss an outage causes:
 // after recovery every flow must be re-vetted by the host slow path.
-func (sn *SmartNIC) ResetTable() { sn.table = make(map[packet.FiveTuple]bool) }
+func (sn *SmartNIC) ResetTable() { sn.table.Reset() }
 
 // Offload attempts to handle a packet on the NIC fast path. It returns
 // true (and invokes done with the fast-path sojourn breakdown) when the
@@ -144,10 +170,17 @@ func (sn *SmartNIC) ResetTable() { sn.table = make(map[packet.FiveTuple]bool) }
 // packet to the host — which is also what an outage or table miss does,
 // giving offload deployments their graceful-degradation path.
 func (sn *SmartNIC) Offload(ft packet.FiveTuple, done func(Sojourn)) bool {
-	if sn.Down() || !sn.table[ft] {
+	if sn.Down() {
 		sn.ToHost++
 		return false
 	}
+	if _, hit := sn.table.Get(ft); !hit {
+		sn.ToHost++
+		return false
+	}
+	// Keep recency truthful for LRU-managed tables: a fast-path hit is
+	// a use.
+	sn.table.Touch(ft)
 	now := sn.s.Now()
 	service := 1 / sn.cfg.CapacityPps * sn.slowdown()
 	start := sn.nextFree

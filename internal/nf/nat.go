@@ -10,9 +10,24 @@ import (
 // ErrPortsExhausted is returned when the NAT has no free external ports.
 var ErrPortsExhausted = errors.New("nf: NAT external port pool exhausted")
 
-// binding is one NAT translation.
-type binding struct {
-	externPort uint16
+// ErrBindingsExhausted is returned when the binding table is full and
+// the eviction policy refuses to make room (EvictNone).
+var ErrBindingsExhausted = errors.New("nf: NAT binding table exhausted")
+
+// NATConfig bounds the binding table and selects what happens at the
+// bound. The zero value preserves the historical behaviour: bindings
+// bounded only by the 55536-port external pool, fail closed on
+// exhaustion.
+type NATConfig struct {
+	// MaxBindings bounds the translation table (<=0 means bounded only
+	// by the external port pool).
+	MaxBindings int
+	// Policy is applied when a new flow arrives at a full table.
+	// EvictNone refuses the flow (ErrBindingsExhausted); the eviction
+	// policies tear down a victim binding and recycle its port.
+	Policy EvictPolicy
+	// Seed drives eviction randomness (EvictRandom only).
+	Seed uint64
 }
 
 // NAT implements source NAT (masquerading): outbound flows get their
@@ -22,23 +37,40 @@ type binding struct {
 type NAT struct {
 	name     string
 	extern   packet.Addr4
+	cfg      NATConfig
 	nextPort uint16
 	minPort  uint16
-	bindings map[packet.FiveTuple]binding
+	bindings *FlowTable
 	used     map[uint16]bool
 	// Hits and Misses count established-flow rewrites vs new bindings.
 	Hits, Misses uint64
+	// Exhausted counts flows refused because neither a port nor a
+	// binding slot could be found — attributed state-pressure drops.
+	Exhausted uint64
 }
 
 // NewNAT builds a source NAT with external address extern, allocating
 // ports from 10000 upward.
 func NewNAT(name string, extern packet.Addr4) *NAT {
+	return NewNATWith(name, extern, NATConfig{})
+}
+
+// NewNATWith builds a source NAT with explicit binding-table bounds and
+// degradation semantics.
+func NewNATWith(name string, extern packet.Addr4, cfg NATConfig) *NAT {
+	maxBindings := cfg.MaxBindings
+	if maxBindings <= 0 {
+		// The port pool is the real bound; size the table to match so
+		// Put never evicts before the pool runs dry.
+		maxBindings = 65536
+	}
 	return &NAT{
 		name:     name,
 		extern:   extern,
+		cfg:      cfg,
 		minPort:  10000,
 		nextPort: 10000,
-		bindings: make(map[packet.FiveTuple]binding),
+		bindings: NewFlowTable(maxBindings, cfg.Policy, cfg.Seed),
 		used:     make(map[uint16]bool),
 	}
 }
@@ -47,7 +79,13 @@ func NewNAT(name string, extern packet.Addr4) *NAT {
 func (n *NAT) Name() string { return n.name }
 
 // Bindings returns the number of active translations.
-func (n *NAT) Bindings() int { return len(n.bindings) }
+func (n *NAT) Bindings() int { return n.bindings.Len() }
+
+// MaxBindings returns the binding-table bound.
+func (n *NAT) MaxBindings() int { return n.bindings.Cap() }
+
+// Evicted returns the number of bindings torn down to admit new flows.
+func (n *NAT) Evicted() uint64 { return n.bindings.Evictions }
 
 func (n *NAT) allocPort() (uint16, error) {
 	for tries := 0; tries < 65536; tries++ {
@@ -71,22 +109,37 @@ func (n *NAT) Process(p *packet.Parser, frame []byte) (Result, error) {
 	if !ok {
 		return Result{Verdict: Accept, Cycles: CyclesParse}, nil
 	}
-	b, hit := n.bindings[ft]
+	port, hit := n.bindings.Get(ft)
 	cycles := uint64(CyclesParse + CyclesNATHit)
 	if !hit {
-		port, err := n.allocPort()
+		newPort, err := n.allocPort()
 		if err != nil {
+			n.Exhausted++
 			return Result{Verdict: Drop, Cycles: cycles}, err
 		}
-		b = binding{externPort: port}
-		n.bindings[ft] = b
+		_, victimPort, evicted, inserted := n.bindings.Put(ft, uint32(newPort))
+		if !inserted {
+			// Full table, EvictNone: release the port and fail closed
+			// with the refusal attributed to binding exhaustion.
+			delete(n.used, newPort)
+			n.Exhausted++
+			return Result{Verdict: Drop, Cycles: cycles},
+				fmt.Errorf("%w: %d bindings", ErrBindingsExhausted, n.bindings.Cap())
+		}
+		if evicted {
+			// Recycle the victim's external port — evictions must not
+			// leak pool capacity.
+			delete(n.used, uint16(victimPort))
+		}
+		port = uint32(newPort)
 		cycles += CyclesNATMiss
 		n.Misses++
 	} else {
+		n.bindings.Touch(ft)
 		n.Hits++
 	}
 
-	if err := rewriteSource(p, frame, n.extern, b.externPort); err != nil {
+	if err := rewriteSource(p, frame, n.extern, uint16(port)); err != nil {
 		return Result{Verdict: Drop, Cycles: cycles}, err
 	}
 	return Result{Verdict: Rewritten, Cycles: cycles}, nil

@@ -154,6 +154,10 @@ type Deployment struct {
 	// avail is the optional per-window availability meter faulted runs
 	// attach; nil (the default) keeps the hot path free of bucketing.
 	avail *measure.AvailabilityMeter
+
+	// state is the optional per-class state-pressure meter scenario
+	// runs attach; nil (the default) keeps the hot path class-blind.
+	state *measure.StateMeter
 }
 
 // New assembles a deployment.
@@ -531,6 +535,7 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 			// Pre-dropped in-network: processed work, not forwarded.
 			tput.Process(size, false)
 			d.avail.Resolve(arrived, true)
+			d.state.Drop(string(pk.Class))
 			_ = lat.RecordSeconds(swLat)
 			sp.End(d.sw.Name(), "drop")
 			return
@@ -538,16 +543,19 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 		extraLatency += swLat
 	}
 
-	// Stage 2: FPGA full offload; overflow and outage fail over to the
-	// host slow path when cores exist.
+	// Stage 2: FPGA full offload; overflow, flow-table punts and outage
+	// fail over to the host slow path when cores exist.
 	if d.fpga != nil {
 		verdict := d.functionalVerdict(pk)
-		if !d.fpga.Submit(func(so hw.Sojourn) {
+		if !d.fpga.SubmitFlow(pk.Flow, func(so hw.Sojourn) {
 			forwarded := verdict != nf.Drop
 			tput.Process(size, forwarded)
 			d.avail.Resolve(arrived, true)
 			if forwarded {
+				d.state.Deliver(string(pk.Class), size)
 				fair.Record(pk.Flow, size)
+			} else {
+				d.state.Drop(string(pk.Class))
 			}
 			_ = lat.RecordSeconds(so.Total() + extraLatency)
 			spanSojourn(sp, so)
@@ -559,6 +567,7 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 			}
 			tput.Lose()
 			d.avail.Resolve(arrived, false)
+			d.state.Lose(string(pk.Class))
 			sp.End(d.fpga.Name(), "loss")
 		}
 		return
@@ -571,6 +580,7 @@ func (d *Deployment) dispatch(pk workload.Pkt, tput *measure.ThroughputMeter, la
 		if d.smartnic.Offload(flow, func(so hw.Sojourn) {
 			tput.Process(size, true)
 			d.avail.Resolve(arrived, true)
+			d.state.Deliver(string(pk.Class), size)
 			fair.Record(flow, size)
 			_ = lat.RecordSeconds(so.Total() + extraLatency)
 			spanSojourn(sp, so)
@@ -590,6 +600,7 @@ func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, s
 	if len(d.cores) == 0 {
 		tput.Lose()
 		d.avail.Resolve(arrived, false)
+		d.state.Lose(string(pk.Class))
 		sp.End("host", "loss")
 		return
 	}
@@ -599,6 +610,7 @@ func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, s
 	if err := parser.Parse(pk.Frame); err != nil {
 		tput.Lose()
 		d.avail.Resolve(arrived, false)
+		d.state.Lose(string(pk.Class))
 		sp.End(core.Name(), "loss")
 		return
 	}
@@ -606,16 +618,21 @@ func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, s
 	if err != nil {
 		tput.Lose()
 		d.avail.Resolve(arrived, false)
+		d.state.Lose(string(pk.Class))
 		sp.End(core.Name(), "loss")
 		return
 	}
 	flow := pk.Flow
+	class := string(pk.Class)
 	ok := core.Submit(res.Cycles, func(so hw.Sojourn) {
 		forwarded := res.Verdict != nf.Drop
 		tput.Process(size, forwarded)
 		d.avail.Resolve(arrived, true)
 		if forwarded {
+			d.state.Deliver(class, size)
 			fair.Record(flow, size)
+		} else {
+			d.state.Drop(class)
 		}
 		_ = lat.RecordSeconds(so.Total() + extraLatency)
 		spanSojourn(sp, so)
@@ -628,6 +645,7 @@ func (d *Deployment) hostPath(pk workload.Pkt, size int, extraLatency float64, s
 	if !ok {
 		tput.Lose()
 		d.avail.Resolve(arrived, false)
+		d.state.Lose(class)
 		sp.End(core.Name(), "loss")
 	}
 }

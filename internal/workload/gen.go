@@ -145,11 +145,14 @@ func (s Spec) withDefaults() Spec {
 
 // Pkt is one generated packet: its flow, pre-built frame bytes, and
 // whether it came from the attack prefix (ground truth for loss
-// accounting).
+// accounting). Scenario generators additionally stamp the traffic
+// class for goodput metering; the plain Generator leaves it empty
+// (treated as legitimate).
 type Pkt struct {
 	Flow   packet.FiveTuple
 	Frame  []byte
 	Attack bool
+	Class  Class
 }
 
 // Generator produces packets per a Spec. Frames are pre-built per
