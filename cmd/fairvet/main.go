@@ -1,0 +1,99 @@
+// Command fairvet runs fairlint's whole-program companion: an
+// interprocedural call-graph analysis that catches determinism
+// violations no per-file rule can see — wall clock, global RNG, and
+// goroutine spawns laundered into the sim boundary through wrappers;
+// RNG seeds that never derive from a Spec or trial parameter;
+// allocations on //fairbench:hotpath-annotated paths; and map
+// iteration order that escapes through returns or struct fields into
+// artifact writers. See internal/vet for the rule catalog.
+//
+// Usage:
+//
+//	fairvet [-json] [packages...]
+//
+// Package patterns are module-relative ("./...", "./internal/sim",
+// "./cmd/..."); the default is ./... . Exits 1 when findings remain
+// after //fairlint:allow suppression, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fairbench/internal/vet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fairvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	dir := fs.String("dir", "", "module root to analyze (default: nearest go.mod above the working directory)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: fairvet [-json] [-dir root] [packages...]\nrules: %v\n", vet.KnownRules())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root := *dir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "fairvet:", err)
+			return 2
+		}
+	}
+
+	findings, err := vet.Run(vet.Config{Dir: root, Patterns: fs.Args()})
+	if err != nil {
+		fmt.Fprintln(stderr, "fairvet:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		if err := vet.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "fairvet:", err)
+			return 2
+		}
+	} else {
+		if err := vet.WriteText(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "fairvet:", err)
+			return 2
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "fairvet: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, mirroring how the go tool locates the main module.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s (run fairvet inside the module)", dir)
+		}
+		dir = parent
+	}
+}

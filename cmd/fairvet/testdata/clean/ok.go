@@ -1,0 +1,11 @@
+// A fairvet-clean fixture: parameter-seeded randomness, no laundered
+// nondeterminism, no cross-function order leaks.
+package clean
+
+import "math/rand"
+
+// Draw samples from a caller-seeded generator.
+func Draw(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

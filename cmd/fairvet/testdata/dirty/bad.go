@@ -1,0 +1,9 @@
+// A fixture with one deliberate seedprov violation for CLI tests.
+package dirty
+
+import "math/rand"
+
+// Fixed uses a hardcoded seed: the experiment cannot be re-seeded.
+func Fixed() *rand.Rand {
+	return rand.New(rand.NewSource(1234))
+}

@@ -56,7 +56,8 @@ func NewInjector(spec Spec) (*Injector, error) {
 		seed = DefaultSeed
 	}
 	return &Injector{
-		spec:       spec,
+		spec: spec,
+		//fairlint:allow seedprov zero Spec.Seed selects the documented DefaultSeed fallback
 		linkRng:    sim.NewRNG(seed).Derive("fault/link"),
 		rateFactor: 1,
 	}, nil
@@ -142,6 +143,7 @@ func (inj *Injector) materialise(horizon float64) error {
 	if seed == 0 {
 		seed = DefaultSeed
 	}
+	//fairlint:allow seedprov zero Spec.Seed selects the documented DefaultSeed fallback
 	root := sim.NewRNG(seed)
 	inj.windows = inj.windows[:0]
 	for ci, c := range inj.spec.Clauses {

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the loader's exported surface for sibling analyzers.
+// internal/vet (fairvet) runs whole-program interprocedural passes and
+// needs exactly what the fairlint loader already produces: parsed,
+// type-checked packages of the module in deterministic dependency
+// order. Exporting the loaded view here keeps one loader, one package
+// discovery, and one //fairlint:allow grammar across both tools.
+
+// Package is the exported view of one loaded, type-checked package.
+type Package struct {
+	// Rel is the module-relative package dir, "." for the root.
+	Rel string
+	// ImportPath is the full import path (equal to Rel when the
+	// analyzed tree has no go.mod, e.g. a testdata corpus).
+	ImportPath string
+	// Files are the package's non-test files in sorted name order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries Types/Defs/Uses for every file expression.
+	Info *types.Info
+}
+
+// Load parses and type-checks every package under dir matching the
+// go-style patterns (default ./...), returning packages in dependency
+// order with a shared FileSet. Test files are excluded, mirroring
+// fairlint: they never feed artifacts.
+func Load(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
+	cfg := Config{Dir: dir, Patterns: patterns}
+	cfg.fillDefaults()
+	pkgs, fset, err := load(&cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		out = append(out, &Package{
+			Rel:        p.rel,
+			ImportPath: p.importPath,
+			Files:      p.files,
+			Types:      p.types,
+			Info:       p.info,
+		})
+	}
+	return out, fset, nil
+}
+
+// RelFile converts an absolute filename into a slash-separated path
+// relative to root, the form findings use so output is
+// machine-independent.
+func RelFile(root, filename string) string { return relFile(root, filename) }
+
+// AllowDirective is one //fairlint:allow comment as seen by an
+// analyzer: where it is, which rule it names, and the recorded reason.
+type AllowDirective struct {
+	File   string
+	Line   int
+	Col    int
+	Rule   string
+	Reason string
+}
+
+// AllowDirectives extracts every //fairlint:allow directive from the
+// files' comments in deterministic (file, position) order, for
+// analyzers that apply the shared suppression grammar to their own
+// rule set.
+func AllowDirectives(fset *token.FileSet, root string, files []*ast.File) []AllowDirective {
+	raw := collectAllows(fset, root, files)
+	out := make([]AllowDirective, 0, len(raw))
+	for _, a := range raw {
+		out = append(out, AllowDirective{
+			File: a.file, Line: a.line, Col: a.col, Rule: a.rule, Reason: a.reason,
+		})
+	}
+	return out
+}

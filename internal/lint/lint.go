@@ -55,6 +55,31 @@ var knownRules = map[string]bool{
 	RuleErrType:    true,
 }
 
+// foreignRules are rule names owned by fairvet (internal/vet), which
+// shares the //fairlint:allow grammar. fairlint accepts directives
+// naming them without further checks — reason and usage policing for
+// these rules happens in fairvet, which symmetrically ignores
+// directives naming fairlint's rules. internal/vet has a test pinning
+// this list to its actual rule set (lint cannot import vet: vet is
+// built on this package's loader).
+var foreignRules = map[string]bool{
+	"taintreach": true,
+	"seedprov":   true,
+	"hotalloc":   true,
+	"orderflow":  true,
+}
+
+// ForeignRules returns the fairvet-owned rule names fairlint accepts
+// in allow directives, sorted.
+func ForeignRules() []string {
+	names := make([]string, 0, len(foreignRules))
+	for name := range foreignRules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // KnownRules returns the suppressible rule names in sorted order.
 func KnownRules() []string {
 	names := make([]string, 0, len(knownRules))
@@ -207,11 +232,14 @@ func applyAllows(findings []Finding, allows []*allowDirective, idx map[string]ma
 	}
 	for _, a := range allows {
 		switch {
+		case foreignRules[a.rule]:
+			// Owned by fairvet: it applies the reason/usage policy for
+			// its rules over the same directives.
 		case !knownRules[a.rule]:
 			kept = append(kept, Finding{
 				File: a.file, Line: a.line, Col: a.col, Rule: RuleAllow,
 				Msg:  fmt.Sprintf("fairlint:allow names unknown rule %q", a.rule),
-				Hint: "known rules: " + joinRules(),
+				Hint: "known rules: " + joinRules() + " (fairvet rules: " + joinForeignRules() + ")",
 			})
 		case a.reason == "":
 			kept = append(kept, Finding{
@@ -247,6 +275,17 @@ func matchAllow(idx map[string]map[int]*allowDirective, f Finding) *allowDirecti
 func joinRules() string {
 	out := ""
 	for i, name := range KnownRules() {
+		if i > 0 {
+			out += ", "
+		}
+		out += name
+	}
+	return out
+}
+
+func joinForeignRules() string {
+	out := ""
+	for i, name := range ForeignRules() {
 		if i > 0 {
 			out += ", "
 		}

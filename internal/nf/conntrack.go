@@ -172,6 +172,8 @@ func (c *Conntrack) State(ft packet.FiveTuple) (ConnState, bool) {
 }
 
 // Process implements Func.
+//
+//fairbench:hotpath fairbench case nf-conntrack-evict-*
 func (c *Conntrack) Process(p *packet.Parser, _ []byte) (Result, error) {
 	ft, ok := p.FiveTuple()
 	if !ok {

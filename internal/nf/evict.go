@@ -210,6 +210,7 @@ func (t *FlowTable) allocSlot() int32 {
 		t.free = t.free[:n-1]
 		return slot
 	}
+	//fairlint:allow hotalloc pool grows once to capacity; steady state recycles free-list slots
 	t.entries = append(t.entries, ftEntry{})
 	return int32(len(t.entries) - 1)
 }
@@ -229,6 +230,7 @@ func (t *FlowTable) removeSlot(slot int32) {
 		t.tail = e.prev
 	}
 	delete(t.idx, e.ft)
+	//fairlint:allow hotalloc free-list length is bounded by pool capacity; append never grows it
 	t.free = append(t.free, slot)
 }
 

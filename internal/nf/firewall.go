@@ -89,6 +89,8 @@ func (m *LinearMatcher) Len() int { return len(m.rules) }
 
 // Match implements Matcher: first match wins, cycles grow with the
 // number of rules examined.
+//
+//fairbench:hotpath fairbench case nf-firewall-process
 func (m *LinearMatcher) Match(ft packet.FiveTuple) (Rule, uint64, bool) {
 	for i, r := range m.rules {
 		if r.Matches(ft) {
@@ -238,6 +240,8 @@ func (f *Firewall) Name() string { return f.name }
 // Process implements Func: non-IPv4-TCP/UDP traffic is dropped (a
 // firewall that cannot classify fails closed), otherwise the matcher
 // decides.
+//
+//fairbench:hotpath fairbench case nf-firewall-process
 func (f *Firewall) Process(p *packet.Parser, _ []byte) (Result, error) {
 	ft, ok := p.FiveTuple()
 	if !ok {

@@ -39,6 +39,7 @@ func BuildUDP4(opts BuildOpts, flow FiveTuple, payload []byte) ([]byte, error) {
 	if size < MinFrameLen {
 		size = MinFrameLen
 	}
+	//fairlint:allow hotalloc frame template construction; workload generators cache the result off the steady-state path
 	frame := make([]byte, size)
 	if _, err := eth.SerializeTo(frame); err != nil {
 		return nil, err
@@ -76,6 +77,7 @@ func BuildTCP4(opts BuildOpts, flow FiveTuple, flags TCPFlags, seq, ack uint32, 
 	if size < MinFrameLen {
 		size = MinFrameLen
 	}
+	//fairlint:allow hotalloc frame template construction; workload generators cache the result off the steady-state path
 	frame := make([]byte, size)
 	if _, err := eth.SerializeTo(frame); err != nil {
 		return nil, err

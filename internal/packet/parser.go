@@ -29,6 +29,8 @@ func NewParser() *Parser { return &Parser{} }
 // and the corresponding structs are populated; Payload holds any bytes
 // beyond the transport header. Ethernet trailer padding (frames are
 // padded to 60 bytes on the wire) is trimmed using the IP total length.
+//
+//fairbench:hotpath fairbench case packet-parse
 func (p *Parser) Parse(frame []byte) error {
 	p.Decoded = p.decodedArr[:0]
 	p.Payload = nil

@@ -50,7 +50,9 @@ func (q eventQueue) Less(i, j int) bool {
 	return q[i].seq < q[j].seq
 }
 func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+
+//fairlint:allow hotalloc event queue reaches steady-state capacity; heap growth is amortized across the run
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
 func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
@@ -95,6 +97,8 @@ var ErrPastEvent = errors.New("sim: cannot schedule event in the past")
 
 // At schedules fn to run at absolute simulated time t. Events at equal
 // times run in scheduling order.
+//
+//fairbench:hotpath fairbench case sim-event-throughput
 func (s *Sim) At(t Time, fn func()) error {
 	if t < s.now {
 		return fmt.Errorf("%w: now=%v, requested=%v", ErrPastEvent, s.now, t)
@@ -140,6 +144,8 @@ func (s *Sim) Halt() { s.halted = true }
 // horizon is passed, or Halt is called. The clock finishes at the
 // horizon if it was not already beyond it, so rate computations over
 // [0, horizon) are well-defined even when the queue drains early.
+//
+//fairbench:hotpath fairbench case sim-event-throughput
 func (s *Sim) Run(horizon Time) {
 	s.halted = false
 	for len(s.queue) > 0 && !s.halted {
@@ -161,6 +167,8 @@ func (s *Sim) Run(horizon Time) {
 // RunAll executes events until the queue is empty or Halt is called.
 // Use with sources that stop generating; an unbounded source will loop
 // forever.
+//
+//fairbench:hotpath fairbench case sim-event-throughput
 func (s *Sim) RunAll() {
 	s.halted = false
 	for len(s.queue) > 0 && !s.halted {

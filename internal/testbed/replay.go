@@ -51,6 +51,7 @@ func (im Impairments) rng() *sim.RNG {
 	if seed == 0 {
 		seed = 7
 	}
+	//fairlint:allow seedprov zero Impairments.Seed selects the documented default stream
 	return sim.NewRNG(seed).Derive("impair")
 }
 

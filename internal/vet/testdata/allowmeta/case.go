@@ -1,0 +1,25 @@
+// Corpus for fairvet's allow meta-rule: directives naming fairvet
+// rules must carry a reason and suppress something; rules unknown to
+// both tools are reported; fairlint's rules are fairlint's to police.
+package allowmetacase
+
+// Unknown to fairlint AND fairvet: both tools report it.
+//
+//fairlint:allow sparkle this rule exists nowhere
+func unknownToBoth() {}
+
+// Fairvet rule without a reason.
+//
+//fairlint:allow hotalloc
+func missingReason() {}
+
+// Fairvet rule with a reason that suppresses nothing.
+//
+//fairlint:allow seedprov corpus demo with nothing underneath
+func unused() {}
+
+// Fairlint rule: deferred by fairvet even though it is unused here
+// (fairlint reports it; fairvet must not).
+//
+//fairlint:allow wallclock operator logging that never enters artifacts
+func lintRuleDeferred() {}

@@ -1,0 +1,56 @@
+// Corpus for the seedprov rule: every RNG construction must be seeded
+// by a value that dataflows from a parameter, a spec field, or an
+// operator flag. Hardcoded seeds reproduce — and silently decouple the
+// experiment from the replication machinery.
+package seedcase
+
+import (
+	"flag"
+	"math/rand"
+)
+
+var pkgSeed int64 = 99
+
+const defaultSeed = 7
+
+// Positive: package-level initializer, no caller can influence it.
+var globalSrc = rand.NewSource(1)
+
+// Positive: bare literal seed.
+func Literal() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+// Positive: named constant is still a hardcoded seed.
+func Const() rand.Source { return rand.NewSource(defaultSeed) }
+
+// Positive: package variable, fixed at init.
+func PkgVar() rand.Source { return rand.NewSource(pkgSeed) }
+
+// Positive: a literal laundered through a local and a conversion.
+func Local() rand.Source {
+	seed := int64(1234)
+	return rand.NewSource(seed)
+}
+
+// Negative: the seed is the caller's.
+func FromParam(seed int64) rand.Source { return rand.NewSource(seed) }
+
+// Negative: spec-field provenance.
+type Spec struct{ Seed int64 }
+
+func FromSpec(s Spec) rand.Source { return rand.NewSource(s.Seed) }
+
+// Negative: operator flags are valid roots.
+func FromFlag() rand.Source {
+	seed := flag.Int64("seed", 1, "trial seed")
+	return rand.NewSource(*seed)
+}
+
+// Negative: mixing a parameter with literals is derivation, not
+// hardcoding.
+func Mixed(seed int64) rand.Source { return rand.NewSource(seed ^ 0x9e3779b9) }
+
+// Suppressed positive.
+func Suppressed() rand.Source {
+	//fairlint:allow seedprov a fixed corpus seed is this demo's identity
+	return rand.NewSource(5)
+}

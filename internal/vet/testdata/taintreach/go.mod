@@ -1,0 +1,3 @@
+module taintcorpus
+
+go 1.22

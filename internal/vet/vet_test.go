@@ -1,0 +1,236 @@
+package vet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fairbench/internal/lint"
+)
+
+// goldenCases lists each rule's corpus with the config it runs under.
+// hotalloc pins HotpathScope to the corpus package itself so
+// propagation from the annotated root is exercised.
+var goldenCases = []struct {
+	name string
+	cfg  Config
+}{
+	{"taintreach", Config{}},
+	{"seedprov", Config{}},
+	{"hotalloc", Config{HotpathScope: []string{"."}}},
+	{"orderflow", Config{}},
+	{"allowmeta", Config{}},
+}
+
+// TestAnalyzerGoldens runs each rule's testdata corpus (positive,
+// negative, and suppressed cases) and asserts the exact findings —
+// positions, messages, and fix hints — against the expect.txt golden.
+func TestAnalyzerGoldens(t *testing.T) {
+	for _, c := range goldenCases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", c.name)
+			cfg := c.cfg
+			cfg.Dir = dir
+			findings, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := WriteText(&buf, findings); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join(dir, "expect.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := buf.String(); got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldensCoverEveryRule guards the corpus itself: each analyzer
+// must have at least one positive case, so a rule silently going dead
+// fails here rather than in production.
+func TestGoldensCoverEveryRule(t *testing.T) {
+	seen := map[string]bool{}
+	dirs, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		data, err := os.ReadFile(filepath.Join("testdata", d.Name(), "expect.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			parts := strings.SplitN(line, ": ", 3)
+			if len(parts) >= 2 {
+				seen[parts[1]] = true
+			}
+		}
+	}
+	for _, rule := range append(KnownRules(), RuleAllow) {
+		if !seen[rule] {
+			t.Errorf("no golden case exercises rule %s", rule)
+		}
+	}
+}
+
+// TestWrapperLaunderingInvisibleToFairlint is the tentpole's reason to
+// exist, pinned as a test: on the taintreach corpus, fairlint reports
+// NOTHING in the sim boundary package (the wall clock sits in
+// internal/runner, which its wallclock rule allowlists, and per-file
+// analysis cannot connect the wrapper to its boundary caller), while
+// fairvet reports every laundered source with a call chain.
+func TestWrapperLaunderingInvisibleToFairlint(t *testing.T) {
+	dir := filepath.Join("testdata", "taintreach")
+
+	lintFindings, err := lint.Run(lint.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range lintFindings {
+		if strings.HasPrefix(f.File, "internal/sim/") {
+			t.Errorf("fairlint unexpectedly sees the boundary violation (corpus no longer proves the loophole): %s", f)
+		}
+	}
+
+	vetFindings, err := Run(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("vet.Run: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, f := range vetFindings {
+		if f.Rule == RuleTaintReach && strings.HasPrefix(f.File, "internal/sim/") {
+			switch {
+			case strings.Contains(f.Msg, "wall clock"):
+				kinds["wallclock"] = true
+			case strings.Contains(f.Msg, "math/rand"):
+				kinds["globalrand"] = true
+			case strings.Contains(f.Msg, "goroutine"):
+				kinds["goroutine"] = true
+			}
+			if !strings.Contains(f.Hint, "call chain: ") {
+				t.Errorf("taintreach finding lacks a call chain: %s", f)
+			}
+		}
+	}
+	for _, k := range []string{"wallclock", "globalrand", "goroutine"} {
+		if !kinds[k] {
+			t.Errorf("fairvet missed the laundered %s source", k)
+		}
+	}
+}
+
+// TestFieldEscapeInvisibleToFairlint pins the second loophole: a map
+// range appending to a struct field (a selector, not a plain
+// identifier) escapes fairlint's maporder rule entirely, while fairvet
+// tracks it to the writer in another method.
+func TestFieldEscapeInvisibleToFairlint(t *testing.T) {
+	dir := filepath.Join("testdata", "orderflow")
+	src, err := os.ReadFile(filepath.Join(dir, "case.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendLine := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "r.names = append(") {
+			appendLine = i + 1
+			break
+		}
+	}
+	if appendLine == 0 {
+		t.Fatal("corpus lost its selector-append case")
+	}
+
+	lintFindings, err := lint.Run(lint.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range lintFindings {
+		if f.Line == appendLine || strings.Contains(f.Msg, "names") {
+			t.Errorf("fairlint unexpectedly sees the field escape (corpus no longer proves the loophole): %s", f)
+		}
+	}
+
+	vetFindings, err := Run(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("vet.Run: %v", err)
+	}
+	sawField := false
+	for _, f := range vetFindings {
+		if f.Rule == RuleOrderFlow && strings.Contains(f.Msg, "via field") {
+			sawField = true
+		}
+	}
+	if !sawField {
+		t.Error("fairvet missed the field-carried order escape")
+	}
+}
+
+// TestSuppressedFindingsStaySuppressed pins the allow semantics for
+// fairvet's rules: every corpus contains a suppressed positive and none
+// may resurface, nor may the suppression itself be flagged.
+func TestSuppressedFindingsStaySuppressed(t *testing.T) {
+	for _, c := range goldenCases {
+		if c.name == "allowmeta" {
+			continue // its RuleAllow findings are the point
+		}
+		cfg := c.cfg
+		cfg.Dir = filepath.Join("testdata", c.name)
+		findings, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			if f.Rule == RuleAllow {
+				t.Errorf("%s corpus: allow machinery flagged a working suppression: %s", c.name, f)
+			}
+		}
+	}
+}
+
+// TestForeignRulesStayInSync pins the cross-tool deference protocol:
+// the rule names fairlint defers to fairvet must be exactly the rules
+// fairvet owns, and the two rule sets must never collide.
+func TestForeignRulesStayInSync(t *testing.T) {
+	if got, want := lint.ForeignRules(), KnownRules(); !reflect.DeepEqual(got, want) {
+		t.Errorf("lint.ForeignRules() = %v, want fairvet's rules %v", got, want)
+	}
+	mine := map[string]bool{}
+	for _, r := range KnownRules() {
+		mine[r] = true
+	}
+	for _, r := range lint.KnownRules() {
+		if mine[r] {
+			t.Errorf("rule name %q is claimed by both fairlint and fairvet", r)
+		}
+	}
+}
+
+func TestParseHotpath(t *testing.T) {
+	cases := []struct {
+		text, note string
+		ok         bool
+	}{
+		{"//fairbench:hotpath", "", true},
+		{"//fairbench:hotpath fairbench case packet-parse", "fairbench case packet-parse", true},
+		{"//fairbench:hotpath   spaced   note  ", "spaced note", true},
+		{"//fairbench:hotpath\tnote", "note", true},
+		{"//fairbench:hotpathology", "", false},
+		{"// fairbench:hotpath spaced marker is not a directive", "", false},
+		{"//fairbench:coldpath", "", false},
+		{"// ordinary comment", "", false},
+	}
+	for _, c := range cases {
+		note, ok := ParseHotpath(c.text)
+		if note != c.note || ok != c.ok {
+			t.Errorf("ParseHotpath(%q) = (%q, %v), want (%q, %v)", c.text, note, ok, c.note, c.ok)
+		}
+	}
+}

@@ -299,6 +299,7 @@ func buildFrame(ft packet.FiveTuple, size int) ([]byte, error) {
 	if payLen < 0 {
 		payLen = 0
 	}
+	//fairlint:allow hotalloc template payload is built once per flow signature, then cached
 	payload := make([]byte, payLen)
 	for i := range payload {
 		payload[i] = byte('a' + i%26) // benign filler, no DPI signatures

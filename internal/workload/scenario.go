@@ -572,6 +572,8 @@ func windowActive(at, dur, t float64) bool {
 
 // NextAt produces the next packet for simulated time t. The frame
 // aliases an internal template; parse or copy before the next call.
+//
+//fairbench:hotpath fairbench case workload-scenario-gen
 func (g *ScenarioGen) NextAt(t float64) (Pkt, Class, error) {
 	floodRate, ampRate := 0.0, 0.0
 	if f := g.sc.SYNFlood; f != nil && windowActive(f.At, f.For, t) {
@@ -731,6 +733,7 @@ func (g *ScenarioGen) emit(ft packet.FiveTuple, size int, syn bool) ([]byte, err
 			return nil, err
 		}
 		tp = &scnTemplate{proto: ft.Proto, size: size, syn: syn, frame: frame, cur: ft}
+		//fairlint:allow hotalloc template cache miss path; steady state serves patched cached frames
 		g.templates = append(g.templates, tp)
 		return tp.frame, nil
 	}
@@ -751,6 +754,7 @@ func buildScenarioFrame(ft packet.FiveTuple, size int, syn bool) ([]byte, error)
 	if payLen < 0 {
 		payLen = 0
 	}
+	//fairlint:allow hotalloc template frame is built once per (proto,size,syn) signature, then cached
 	payload := make([]byte, payLen)
 	for i := range payload {
 		payload[i] = byte('a' + i%26)
